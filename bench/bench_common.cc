@@ -1,0 +1,92 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+
+#include "util/table.h"
+
+namespace ldb {
+namespace bench {
+
+BenchEnv ParseBenchEnv(int argc, char** argv) {
+  BenchEnv env;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--scale=", 8) == 0) {
+      env.scale = std::atof(argv[a] + 8);
+    } else if (std::strncmp(argv[a], "--seed=", 7) == 0) {
+      env.seed = static_cast<uint64_t>(std::atoll(argv[a] + 7));
+    }
+  }
+  LDB_CHECK_GT(env.scale, 0.0);
+  return env;
+}
+
+void PrintHeader(const char* figure, const char* description,
+                 const BenchEnv& env) {
+  std::printf("=== %s: %s\n", figure, description);
+  std::printf(
+      "    (simulated testbed at scale %.3g, seed %llu; speedups and "
+      "orderings are the reproduction targets, not absolute times)\n\n",
+      env.scale, static_cast<unsigned long long>(env.seed));
+}
+
+Result<ExperimentRig> FourDiskTpchRig(const BenchEnv& env) {
+  return ExperimentRig::Create(
+      Catalog::TpcH(env.scale),
+      {{"disk0"}, {"disk1"}, {"disk2"}, {"disk3"}}, env.scale, env.seed);
+}
+
+Layout SeeLayout(const ExperimentRig& rig) {
+  return Layout::StripeEverythingEverywhere(rig.catalog().num_objects(),
+                                            rig.num_targets());
+}
+
+Result<AdvisedLayout> AdviseForWorkload(const ExperimentRig& rig,
+                                        const OlapSpec* olap,
+                                        const OltpSpec* oltp,
+                                        AdvisorOptions options,
+                                        double oltp_duration_s) {
+  auto workloads =
+      rig.FitWorkloads(SeeLayout(rig), olap, oltp, oltp_duration_s);
+  if (!workloads.ok()) return workloads.status();
+  auto problem = rig.MakeProblem(std::move(workloads).value());
+  if (!problem.ok()) return problem.status();
+  LayoutAdvisor advisor(options);
+  auto result = advisor.Recommend(*problem);
+  if (!result.ok()) return result.status();
+  return AdvisedLayout{std::move(problem).value(),
+                       std::move(result).value()};
+}
+
+std::string TopObjectsLayoutString(const LayoutProblem& problem,
+                                   const Layout& layout, int count) {
+  std::vector<int> order(static_cast<size_t>(problem.num_objects()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return problem.workloads[static_cast<size_t>(a)].total_rate() >
+           problem.workloads[static_cast<size_t>(b)].total_rate();
+  });
+  const int n = std::min<int>(count, problem.num_objects());
+
+  std::vector<std::string> header{"Object"};
+  for (int j = 0; j < layout.num_targets(); ++j) {
+    header.push_back(problem.targets[static_cast<size_t>(j)].name);
+  }
+  TextTable table(std::move(header));
+  for (int rank = 0; rank < n; ++rank) {
+    const int i = order[static_cast<size_t>(rank)];
+    std::vector<std::string> row{problem.object_names[static_cast<size_t>(i)]};
+    for (int j = 0; j < layout.num_targets(); ++j) {
+      const double v = layout.At(i, j);
+      row.push_back(v <= 1e-9 ? "." : StrFormat("%.0f%%", 100.0 * v));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+}  // namespace bench
+}  // namespace ldb

@@ -1,0 +1,65 @@
+#ifndef LAYOUTDB_BENCH_BENCH_COMMON_H_
+#define LAYOUTDB_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/baselines.h"
+#include "core/harness.h"
+#include "model/layout.h"
+#include "util/status.h"
+#include "workload/catalog.h"
+#include "workload/spec.h"
+
+namespace ldb {
+namespace bench {
+
+/// Shared configuration for the paper-reproduction benchmark binaries.
+///
+/// `scale` proportionally shrinks database and device sizes (1.0 = the
+/// paper's testbed; the default keeps every benchmark within seconds).
+/// Absolute times therefore differ from the paper; the reported speedups
+/// and orderings are the reproduction targets.
+struct BenchEnv {
+  double scale = 0.05;
+  uint64_t seed = 7;
+};
+
+/// Parses --scale=<f> and --seed=<n> from argv (ignores anything else, so
+/// binaries still run under blanket bench runners).
+BenchEnv ParseBenchEnv(int argc, char** argv);
+
+/// Prints the standard benchmark banner.
+void PrintHeader(const char* figure, const char* description,
+                 const BenchEnv& env);
+
+/// Builds the paper's homogeneous rig: TPC-H on four 15K-RPM disks.
+Result<ExperimentRig> FourDiskTpchRig(const BenchEnv& env);
+
+/// SEE layout for a rig.
+Layout SeeLayout(const ExperimentRig& rig);
+
+/// The full advisor pipeline of Section 6: trace the workloads under SEE,
+/// fit workload descriptions, and recommend a layout.
+struct AdvisedLayout {
+  LayoutProblem problem;
+  AdvisorResult result;
+};
+Result<AdvisedLayout> AdviseForWorkload(const ExperimentRig& rig,
+                                        const OlapSpec* olap,
+                                        const OltpSpec* oltp,
+                                        AdvisorOptions options = {},
+                                        double oltp_duration_s = 60.0);
+
+/// Renders the rows of `layout` restricted to the `count` objects with the
+/// highest fitted request rates (the way the paper's layout figures show
+/// only the most heavily accessed objects), in decreasing request-rate
+/// order.
+std::string TopObjectsLayoutString(const LayoutProblem& problem,
+                                   const Layout& layout, int count);
+
+}  // namespace bench
+}  // namespace ldb
+
+#endif  // LAYOUTDB_BENCH_BENCH_COMMON_H_

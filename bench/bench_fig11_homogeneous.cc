@@ -1,0 +1,53 @@
+// Reproduces paper Figure 11: workload execution times under the SEE
+// baseline and the advisor's optimized layout on four identical disks, for
+// OLAP1-63 and OLAP8-63.
+//
+// Paper numbers: OLAP1-63 40927s -> 31879s (1.28x); OLAP8-63 16201s ->
+// 13608s (1.19x). Shape to reproduce: the optimized layout wins on both,
+// with a larger gain at concurrency 1 than at concurrency 8.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+using namespace ldb;
+using namespace ldb::bench;
+
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
+  PrintHeader("Figure 11",
+              "SEE vs optimized execution times, homogeneous targets", env);
+
+  auto rig = FourDiskTpchRig(env);
+  if (!rig.ok()) return 1;
+
+  TextTable table({"Workload", "SEE (s)", "Optimized (s)", "Speedup",
+                   "Paper speedup"});
+  struct Row {
+    int concurrency;
+    const char* paper;
+  };
+  for (const Row& r : {Row{1, "1.28x"}, Row{8, "1.19x"}}) {
+    auto olap = MakeOlapSpec(rig->catalog(), 3, r.concurrency, env.seed);
+    if (!olap.ok()) return 1;
+    auto advised = AdviseForWorkload(*rig, &*olap, nullptr);
+    if (!advised.ok()) {
+      std::fprintf(stderr, "advisor: %s\n",
+                   advised.status().ToString().c_str());
+      return 1;
+    }
+    auto see_run = rig->Execute(SeeLayout(*rig), &*olap, nullptr);
+    auto opt_run =
+        rig->Execute(advised->result.final_layout, &*olap, nullptr);
+    if (!see_run.ok() || !opt_run.ok()) return 1;
+    table.AddRow({olap->name,
+                  StrFormat("%.0f", see_run->elapsed_seconds),
+                  StrFormat("%.0f", opt_run->elapsed_seconds),
+                  StrFormat("%.2fx", see_run->elapsed_seconds /
+                                         opt_run->elapsed_seconds),
+                  r.paper});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces paper Figure 16: the optimized layout of the 40 consolidated
+// TPC-H + TPC-C objects, most heavily requested first (the paper shows the
+// top 12, tagging objects with (h)/(c) for their database).
+//
+// Paper shape to reproduce: the TPC-H LINEITEM table is separated from the
+// TPC-C STOCK and CUSTOMER tables, which see heavy non-sequential
+// workloads.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace ldb;
+using namespace ldb::bench;
+
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
+  PrintHeader("Figure 16", "optimized layout for the consolidated workload",
+              env);
+
+  Catalog merged = Catalog::Merge(Catalog::TpcH(env.scale),
+                                  Catalog::TpcC(env.scale), "", "C_");
+  auto rig = ExperimentRig::Create(
+      merged, {{"disk0"}, {"disk1"}, {"disk2"}, {"disk3"}}, env.scale,
+      env.seed);
+  if (!rig.ok()) return 1;
+  auto olap = MakeOlapSpec(rig->catalog(), 1, 1, env.seed);
+  auto oltp = MakeOltpSpec(rig->catalog(), "C_", 9, 5.0);
+  if (!olap.ok() || !oltp.ok()) return 1;
+
+  auto advised = AdviseForWorkload(*rig, &*olap, &*oltp);
+  if (!advised.ok()) return 1;
+
+  std::printf("Top consolidated objects (C_ prefix = TPC-C):\n%s\n",
+              TopObjectsLayoutString(advised->problem,
+                                     advised->result.final_layout, 12)
+                  .c_str());
+
+  auto targets_of = [&](const char* name) {
+    for (int i = 0; i < advised->problem.num_objects(); ++i) {
+      if (advised->problem.object_names[static_cast<size_t>(i)] == name) {
+        return advised->result.final_layout.TargetsOf(i);
+      }
+    }
+    return std::vector<int>{};
+  };
+  const auto li = targets_of("LINEITEM");
+  const auto stock = targets_of("C_STOCK");
+  int shared = 0;
+  for (int a : li) {
+    for (int b : stock) shared += (a == b);
+  }
+  std::printf(
+      "LINEITEM and C_STOCK share %d target(s) out of %zu/%zu used "
+      "(paper: separated).\n",
+      shared, li.size(), stock.size());
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels: device service
+// times, the simulator's event throughput, LVM mapping, cost-model
+// interpolation, the target model's utilization computation (the solver's
+// inner loop), simplex projection, and a small end-to-end solve.
+
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "model/calibration.h"
+#include "model/target_model.h"
+#include "solver/projected_gradient.h"
+#include "solver/simplex.h"
+#include "storage/disk.h"
+#include "storage/lvm.h"
+#include "storage/storage_system.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace ldb {
+namespace {
+
+const CostModel& SharedCostModel() {
+  static const CostModel* model = [] {
+    DiskModel disk(Scsi15kParams());
+    CalibrationOptions options;
+    options.sample_requests = 64;  // coarse is fine for micro-bench input
+    auto m = CalibrateDevice(disk, options);
+    LDB_CHECK(m.ok());
+    return new CostModel(std::move(m).value());
+  }();
+  return *model;
+}
+
+void BM_DiskServiceTimeSequential(benchmark::State& state) {
+  DiskModel disk(Scsi15kParams());
+  int64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disk.ServiceTime({offset, 64 * kKiB, false}));
+    offset += 64 * kKiB;
+    if (offset + 64 * kKiB > disk.capacity_bytes()) offset = 0;
+  }
+}
+BENCHMARK(BM_DiskServiceTimeSequential);
+
+void BM_DiskServiceTimeRandom(benchmark::State& state) {
+  DiskModel disk(Scsi15kParams());
+  Rng rng(1);
+  const int64_t slots = disk.capacity_bytes() / (8 * kKiB) - 1;
+  for (auto _ : state) {
+    const int64_t offset = rng.UniformInt(int64_t{0}, slots) * 8 * kKiB;
+    benchmark::DoNotOptimize(disk.ServiceTime({offset, 8 * kKiB, false}));
+  }
+}
+BENCHMARK(BM_DiskServiceTimeRandom);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  DiskModel proto(Scsi15kParams());
+  for (auto _ : state) {
+    state.PauseTiming();
+    StorageSystem sys({{"d0", &proto, 1, 64 * kKiB},
+                       {"d1", &proto, 1, 64 * kKiB}});
+    state.ResumeTiming();
+    int outstanding = 0;
+    for (int i = 0; i < 1024; ++i) {
+      sys.Submit(i % 2, {(i / 2) * 64 * kKiB, 64 * kKiB, false, 0, 0},
+                 nullptr);
+      ++outstanding;
+    }
+    sys.queue().RunUntilIdle();
+    benchmark::DoNotOptimize(outstanding);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_LvmMap(benchmark::State& state) {
+  auto mgr = StripedVolumeManager::Create(
+      {10 * kGiB}, {{0, 1, 2, 3}}, {20 * kGiB, 20 * kGiB, 20 * kGiB, 20 * kGiB},
+      64 * kKiB);
+  LDB_CHECK(mgr.ok());
+  std::vector<TargetChunk> chunks;
+  int64_t offset = 0;
+  for (auto _ : state) {
+    chunks.clear();
+    mgr->Map(0, offset, 256 * kKiB, &chunks);
+    benchmark::DoNotOptimize(chunks.data());
+    offset = (offset + 256 * kKiB) % (9 * kGiB);
+  }
+}
+BENCHMARK(BM_LvmMap);
+
+void BM_CostModelLookup(benchmark::State& state) {
+  const CostModel& model = SharedCostModel();
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ReadCost(rng.Uniform(8192, 262144),
+                                            rng.Uniform(1, 100),
+                                            rng.Uniform(0, 8)));
+  }
+}
+BENCHMARK(BM_CostModelLookup);
+
+WorkloadSet MakeWorkloads(int n, Rng* rng) {
+  WorkloadSet ws(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    WorkloadDesc& w = ws[static_cast<size_t>(i)];
+    w.read_rate = rng->Uniform(1, 200);
+    w.read_size = 64 * kKiB;
+    w.write_rate = rng->Uniform(0, 20);
+    w.write_size = 64 * kKiB;
+    w.run_count = rng->Uniform(1, 100);
+    w.overlap.assign(static_cast<size_t>(n), 0.0);
+    for (int k = 0; k < n; ++k) {
+      if (k != i) w.overlap[static_cast<size_t>(k)] = rng->Uniform(0, 1);
+    }
+  }
+  return ws;
+}
+
+void BM_TargetModelUtilizations(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = 4;
+  Rng rng(3);
+  WorkloadSet ws = MakeWorkloads(n, &rng);
+  std::vector<TargetModelInfo> infos(
+      static_cast<size_t>(m),
+      TargetModelInfo{&SharedCostModel(), 1, 64 * kKiB});
+  TargetModel model(infos, LvmLayoutModel(64 * kKiB));
+  Layout layout = Layout::StripeEverythingEverywhere(n, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Utilizations(ws, layout));
+  }
+}
+BENCHMARK(BM_TargetModelUtilizations)->Arg(20)->Arg(40)->Arg(160);
+
+void BM_SimplexProjection(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<double> v(n);
+  for (auto _ : state) {
+    for (auto& x : v) x = rng.Uniform(-1, 2);
+    ProjectToSimplex(v.data(), n);
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_SimplexProjection)->Arg(4)->Arg(40);
+
+void BM_SolverSmallProblem(benchmark::State& state) {
+  const int n = 10, m = 4;
+  Rng rng(5);
+  WorkloadSet ws = MakeWorkloads(n, &rng);
+  std::vector<TargetModelInfo> infos(
+      static_cast<size_t>(m),
+      TargetModelInfo{&SharedCostModel(), 1, 64 * kKiB});
+  TargetModel model(infos, LvmLayoutModel(64 * kKiB));
+  LayoutNlpProblem nlp;
+  nlp.num_objects = n;
+  nlp.num_targets = m;
+  nlp.object_sizes.assign(static_cast<size_t>(n), kGiB);
+  nlp.target_capacities.assign(static_cast<size_t>(m), 20 * kGiB);
+  nlp.target_utilization = [&](const Layout& l, int j) {
+    return model.TargetUtilization(ws, l, j);
+  };
+  SolverOptions options;
+  options.annealing_rounds = 2;
+  options.max_iterations_per_round = 10;
+  ProjectedGradientSolver solver(options);
+  const Layout seed = Layout::StripeEverythingEverywhere(n, m);
+  for (auto _ : state) {
+    auto r = solver.Solve(nlp, seed);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_SolverSmallProblem);
+
+}  // namespace
+}  // namespace ldb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Storage configuration: from unconfigured devices to a configured,
+// laid-out system (the paper's Section 8 future-work direction, after
+// HP's Disk Array Designer).
+//
+// Given a pool of four bare 15K disks and one SSD, the configurator
+// enumerates ways of grouping the disks into RAID0 targets (4, 3+1, 2+2,
+// 2+1+1, 1+1+1+1), runs the layout advisor on each candidate
+// configuration with the TPC-H OLAP8-63 workload, and reports the
+// configuration + layout with the lowest maximum estimated utilization.
+//
+// Usage: configure [scale]   (default 0.05)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/configurator.h"
+#include "core/harness.h"
+#include "model/calibration.h"
+#include "storage/disk.h"
+#include "storage/ssd.h"
+#include "workload/catalog.h"
+#include "workload/spec.h"
+
+int main(int argc, char** argv) {
+  using namespace ldb;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+
+  // Fit workload descriptions the usual way (trace under SEE on a plain
+  // four-disk rig).
+  Catalog catalog = Catalog::TpcH(scale);
+  auto rig = ExperimentRig::Create(
+      catalog, {{"d0"}, {"d1"}, {"d2"}, {"d3"}}, scale);
+  if (!rig.ok()) return 1;
+  auto olap = MakeOlapSpec(rig->catalog(), 3, 8, 7);
+  if (!olap.ok()) return 1;
+  const Layout see = Layout::StripeEverythingEverywhere(
+      catalog.num_objects(), rig->num_targets());
+  auto workloads = rig->FitWorkloads(see, &*olap, nullptr);
+  if (!workloads.ok()) return 1;
+
+  // Calibrate cost models for the raw device types.
+  DiskModel disk_proto(Scsi15kParams());
+  SsdModel ssd_proto(SsdParams{});
+  auto disk_cm = CalibrateDevice(disk_proto);
+  auto ssd_cm = CalibrateDevice(ssd_proto);
+  if (!disk_cm.ok() || !ssd_cm.ok()) return 1;
+
+  // Describe the unconfigured resources.
+  ConfiguratorInput input;
+  input.object_names = catalog.names();
+  input.object_sizes = catalog.sizes();
+  for (const DbObject& o : catalog.objects()) {
+    input.object_kinds.push_back(o.kind);
+  }
+  input.workloads = *workloads;
+  DevicePool disks;
+  disks.name = "disk";
+  disks.count = 4;
+  disks.capacity_bytes = static_cast<int64_t>(18.4 * scale * kGiB);
+  disks.cost_model = &*disk_cm;
+  input.pools.push_back(disks);
+  DevicePool ssd;
+  ssd.name = "ssd";
+  ssd.count = 1;
+  ssd.capacity_bytes = static_cast<int64_t>(8.0 * scale * kGiB);
+  ssd.cost_model = &*ssd_cm;
+  ssd.allow_grouping = false;
+  input.pools.push_back(ssd);
+
+  std::printf(
+      "Configuring %d objects onto 4 unconfigured disks + 1 SSD...\n",
+      catalog.num_objects());
+  auto result = RecommendConfiguration(input);
+  if (!result.ok()) {
+    std::fprintf(stderr, "configurator: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Best configuration: %s (%d targets)\n",
+              result->description.c_str(), result->problem.num_targets());
+  std::printf("Estimated max utilization: %.1f%%\n",
+              100 * result->advice.max_utilization_final);
+  std::printf("\nLayout:\n%s",
+              result->advice.final_layout.ToString(catalog.names()).c_str());
+  return 0;
+}

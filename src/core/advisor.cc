@@ -1,0 +1,80 @@
+#include "core/advisor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/initial.h"
+#include "solver/multistart.h"
+#include "util/random.h"
+
+namespace ldb {
+
+namespace {
+
+double SecondsSince(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+LayoutAdvisor::LayoutAdvisor(AdvisorOptions options)
+    : options_(std::move(options)) {}
+
+Result<AdvisorResult> LayoutAdvisor::Recommend(
+    const LayoutProblem& problem) const {
+  LDB_RETURN_IF_ERROR(problem.Validate());
+
+  AdvisorResult result;
+  const TargetModel model = problem.MakeTargetModel();
+  const LayoutNlpProblem nlp = problem.MakeNlp(&model);
+
+  // Stage 1: heuristic initial layout (Section 4.2).
+  auto t0 = std::chrono::steady_clock::now();
+  auto initial = InitialLayout(problem);
+  if (!initial.ok()) return initial.status();
+  result.initial_layout = std::move(initial).value();
+  result.initial_seconds = SecondsSince(t0);
+  result.utilization_initial =
+      model.Utilizations(problem.workloads, result.initial_layout);
+
+  // Stage 2: NLP solver (Section 4.1), optionally multi-start.
+  t0 = std::chrono::steady_clock::now();
+  std::vector<Layout> seeds{result.initial_layout};
+  if (options_.extra_random_seeds > 0) {
+    Rng rng(options_.seed);
+    auto random_seeds = MultiStartSolver::RandomSeeds(
+        nlp, options_.extra_random_seeds, &rng);
+    seeds.insert(seeds.end(), random_seeds.begin(), random_seeds.end());
+  }
+  MultiStartSolver solver(options_.solver);
+  auto solved = solver.Solve(nlp, seeds);
+  if (!solved.ok()) return solved.status();
+  result.solver_stats = std::move(solved).value();
+  result.solver_layout = result.solver_stats.layout;
+  result.solver_seconds = SecondsSince(t0);
+  result.utilization_solver =
+      model.Utilizations(problem.workloads, result.solver_layout);
+
+  // Stage 3: regularization (Section 4.3).
+  if (options_.regularize) {
+    t0 = std::chrono::steady_clock::now();
+    Regularizer regularizer(&problem, &model, options_.regularizer);
+    auto regular = regularizer.Regularize(result.solver_layout);
+    if (!regular.ok()) return regular.status();
+    result.final_layout = std::move(regular).value();
+    result.regularization_seconds = SecondsSince(t0);
+  } else {
+    result.final_layout = result.solver_layout;
+  }
+  result.utilization_final =
+      model.Utilizations(problem.workloads, result.final_layout);
+  result.max_utilization_final =
+      *std::max_element(result.utilization_final.begin(),
+                        result.utilization_final.end());
+  return result;
+}
+
+}  // namespace ldb

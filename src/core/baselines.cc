@@ -1,0 +1,100 @@
+#include "core/baselines.h"
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace ldb {
+
+namespace {
+
+Status CheckTarget(const LayoutProblem& problem, int target) {
+  if (target < 0 || target >= problem.num_targets()) {
+    return Status::InvalidArgument(StrFormat("no target %d", target));
+  }
+  return Status::Ok();
+}
+
+Result<Layout> FinishBaseline(const LayoutProblem& problem, Layout layout,
+                              const char* name) {
+  if (!layout.SatisfiesCapacity(problem.object_sizes,
+                                problem.capacities())) {
+    return Status::CapacityExceeded(
+        StrFormat("%s baseline does not fit the target capacities", name));
+  }
+  return layout;
+}
+
+}  // namespace
+
+Layout SeeBaseline(const LayoutProblem& problem) {
+  return Layout::StripeEverythingEverywhere(problem.num_objects(),
+                                            problem.num_targets());
+}
+
+Result<Layout> IsolateTablesBaseline(const LayoutProblem& problem,
+                                     int table_target) {
+  LDB_RETURN_IF_ERROR(problem.Validate());
+  LDB_RETURN_IF_ERROR(CheckTarget(problem, table_target));
+  if (problem.num_targets() < 2) {
+    return Status::InvalidArgument("needs at least two targets");
+  }
+  std::vector<int> others;
+  for (int j = 0; j < problem.num_targets(); ++j) {
+    if (j != table_target) others.push_back(j);
+  }
+  Layout layout(problem.num_objects(), problem.num_targets());
+  for (int i = 0; i < problem.num_objects(); ++i) {
+    if (problem.object_kinds[static_cast<size_t>(i)] == ObjectKind::kTable) {
+      layout.SetRowRegular(i, {table_target});
+    } else {
+      layout.SetRowRegular(i, others);
+    }
+  }
+  return FinishBaseline(problem, std::move(layout), "isolate-tables");
+}
+
+Result<Layout> IsolateTablesIndexesBaseline(const LayoutProblem& problem,
+                                            int table_target,
+                                            int index_target,
+                                            int temp_target) {
+  LDB_RETURN_IF_ERROR(problem.Validate());
+  LDB_RETURN_IF_ERROR(CheckTarget(problem, table_target));
+  LDB_RETURN_IF_ERROR(CheckTarget(problem, index_target));
+  LDB_RETURN_IF_ERROR(CheckTarget(problem, temp_target));
+  if (table_target == index_target || index_target == temp_target ||
+      table_target == temp_target) {
+    return Status::InvalidArgument("isolation targets must be distinct");
+  }
+  Layout layout(problem.num_objects(), problem.num_targets());
+  for (int i = 0; i < problem.num_objects(); ++i) {
+    switch (problem.object_kinds[static_cast<size_t>(i)]) {
+      case ObjectKind::kTable:
+        layout.SetRowRegular(i, {table_target});
+        break;
+      case ObjectKind::kIndex:
+        layout.SetRowRegular(i, {index_target});
+        break;
+      case ObjectKind::kTempSpace:
+      case ObjectKind::kLog:
+        layout.SetRowRegular(i, {temp_target});
+        break;
+    }
+  }
+  return FinishBaseline(problem, std::move(layout),
+                        "isolate-tables-and-indexes");
+}
+
+Result<Layout> AllOnOneTargetBaseline(const LayoutProblem& problem,
+                                      int target) {
+  LDB_RETURN_IF_ERROR(problem.Validate());
+  LDB_RETURN_IF_ERROR(CheckTarget(problem, target));
+  Layout layout(problem.num_objects(), problem.num_targets());
+  for (int i = 0; i < problem.num_objects(); ++i) {
+    layout.SetRowRegular(i, {target});
+  }
+  return FinishBaseline(problem, std::move(layout), "all-on-one-target");
+}
+
+}  // namespace ldb

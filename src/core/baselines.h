@@ -1,0 +1,38 @@
+#ifndef LAYOUTDB_CORE_BASELINES_H_
+#define LAYOUTDB_CORE_BASELINES_H_
+
+#include "core/problem.h"
+#include "model/layout.h"
+#include "util/status.h"
+
+namespace ldb {
+
+/// The heuristic baseline layouts the paper compares against (Sections 2,
+/// 6.2 and 6.4). None of them uses workload information beyond object
+/// kind.
+
+/// Stripe-everything-everywhere: every object evenly across all targets.
+Layout SeeBaseline(const LayoutProblem& problem);
+
+/// Tables isolated on `table_target`; all other objects striped evenly
+/// across the remaining targets (the paper's second baseline for the "3-1"
+/// heterogeneous configuration). Fails if capacities don't allow it.
+Result<Layout> IsolateTablesBaseline(const LayoutProblem& problem,
+                                     int table_target);
+
+/// Tables on `table_target`, indexes on `index_target`, temp space and
+/// logs on `temp_target` (the paper's second baseline for the "2-1-1"
+/// configuration). Fails if capacities don't allow it.
+Result<Layout> IsolateTablesIndexesBaseline(const LayoutProblem& problem,
+                                            int table_target,
+                                            int index_target,
+                                            int temp_target);
+
+/// Every object on the single target `target` (the paper's "all objects on
+/// SSD" baseline). Fails if the target lacks capacity.
+Result<Layout> AllOnOneTargetBaseline(const LayoutProblem& problem,
+                                      int target);
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_CORE_BASELINES_H_

@@ -1,0 +1,148 @@
+#include "core/configurator.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace ldb {
+
+namespace {
+
+/// Integer partitions of `n` in decreasing-part order (e.g. 4 -> [4],
+/// [3,1], [2,2], [2,1,1], [1,1,1,1]), capped at `limit` partitions.
+std::vector<std::vector<int>> Partitions(int n, int limit) {
+  std::vector<std::vector<int>> out;
+  std::vector<int> current;
+  // Depth-first with non-increasing parts.
+  std::function<void(int, int)> rec = [&](int remaining, int max_part) {
+    if (static_cast<int>(out.size()) >= limit) return;
+    if (remaining == 0) {
+      out.push_back(current);
+      return;
+    }
+    for (int part = std::min(remaining, max_part); part >= 1; --part) {
+      current.push_back(part);
+      rec(remaining - part, part);
+      current.pop_back();
+      if (static_cast<int>(out.size()) >= limit) return;
+    }
+  };
+  rec(n, n);
+  return out;
+}
+
+std::string DescribePartition(const DevicePool& pool,
+                              const std::vector<int>& partition) {
+  std::string out = pool.name + " x [";
+  for (size_t i = 0; i < partition.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("%d", partition[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+Result<ConfiguratorResult> RecommendConfiguration(
+    const ConfiguratorInput& input, ConfiguratorOptions options) {
+  if (input.pools.empty()) {
+    return Status::InvalidArgument("no device pools");
+  }
+  for (const DevicePool& pool : input.pools) {
+    if (pool.count <= 0 || pool.capacity_bytes <= 0) {
+      return Status::InvalidArgument(
+          StrFormat("pool %s has no devices/capacity", pool.name.c_str()));
+    }
+    if (pool.cost_model == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("pool %s has no cost model", pool.name.c_str()));
+    }
+  }
+  if (options.max_partitions_per_pool <= 0) {
+    return Status::InvalidArgument("max_partitions_per_pool must be > 0");
+  }
+
+  // Grouping choices per pool.
+  std::vector<std::vector<std::vector<int>>> pool_partitions;
+  for (const DevicePool& pool : input.pools) {
+    if (pool.allow_grouping) {
+      pool_partitions.push_back(
+          Partitions(pool.count, options.max_partitions_per_pool));
+    } else {
+      pool_partitions.push_back(
+          {std::vector<int>(static_cast<size_t>(pool.count), 1)});
+    }
+  }
+
+  // Cartesian product over pools, evaluated with the advisor.
+  bool have_best = false;
+  ConfiguratorResult best;
+  Status last_error = Status::Infeasible("no feasible configuration found");
+
+  std::vector<size_t> choice(pool_partitions.size(), 0);
+  while (true) {
+    // Build the candidate problem.
+    LayoutProblem problem;
+    problem.object_names = input.object_names;
+    problem.object_sizes = input.object_sizes;
+    problem.object_kinds = input.object_kinds;
+    problem.workloads = input.workloads;
+    problem.lvm_stripe_bytes = input.lvm_stripe_bytes;
+    std::string description;
+    for (size_t pi = 0; pi < input.pools.size(); ++pi) {
+      const DevicePool& pool = input.pools[pi];
+      const std::vector<int>& partition = pool_partitions[pi][choice[pi]];
+      if (!description.empty()) description += " + ";
+      description += DescribePartition(pool, partition);
+      int index = 0;
+      for (int members : partition) {
+        AdvisorTarget target;
+        target.name = StrFormat("%s%d", pool.name.c_str(), index++);
+        target.capacity_bytes = pool.capacity_bytes * members;
+        target.cost_model = pool.cost_model;
+        target.num_members = members;
+        target.stripe_bytes = pool.stripe_bytes;
+        problem.targets.push_back(std::move(target));
+      }
+    }
+
+    const Status valid = problem.Validate();
+    if (valid.ok()) {
+      LayoutAdvisor advisor(options.advisor);
+      auto advice = advisor.Recommend(problem);
+      if (advice.ok()) {
+        const bool better =
+            !have_best ||
+            advice->max_utilization_final < best.advice.max_utilization_final;
+        if (better) {
+          best.description = description;
+          best.problem = problem;
+          best.advice = std::move(advice).value();
+          have_best = true;
+        }
+      } else {
+        last_error = advice.status();
+      }
+    } else {
+      last_error = valid;
+    }
+
+    // Advance the cartesian-product counter.
+    size_t pi = 0;
+    while (pi < choice.size()) {
+      if (++choice[pi] < pool_partitions[pi].size()) break;
+      choice[pi] = 0;
+      ++pi;
+    }
+    if (pi == choice.size()) break;
+  }
+
+  if (!have_best) return last_error;
+  return best;
+}
+
+}  // namespace ldb

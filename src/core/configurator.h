@@ -1,0 +1,70 @@
+#ifndef LAYOUTDB_CORE_CONFIGURATOR_H_
+#define LAYOUTDB_CORE_CONFIGURATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/problem.h"
+#include "model/cost_model.h"
+#include "util/status.h"
+
+namespace ldb {
+
+/// A pool of identical, unconfigured devices available to build targets
+/// from (e.g. "four 18.4 GB 15K disks", "one 32 GB SSD").
+struct DevicePool {
+  std::string name;           ///< used to label generated targets
+  int count = 0;              ///< devices available
+  int64_t capacity_bytes = 0; ///< per device
+  const CostModel* cost_model = nullptr;
+  /// Whether devices of this pool may be grouped into RAID0 targets
+  /// (false for SSDs in the paper's setting).
+  bool allow_grouping = true;
+  int64_t stripe_bytes = 64 * 1024;  ///< chunk size for grouped targets
+};
+
+/// Objects + workloads side of a configuration problem (everything in
+/// LayoutProblem except the targets).
+struct ConfiguratorInput {
+  std::vector<std::string> object_names;
+  std::vector<int64_t> object_sizes;
+  std::vector<ObjectKind> object_kinds;
+  WorkloadSet workloads;
+  std::vector<DevicePool> pools;
+  int64_t lvm_stripe_bytes = 64 * 1024;
+};
+
+/// One candidate configuration with its advised layout.
+struct ConfiguratorResult {
+  /// Description of the chosen configuration, e.g. "disk x [2,1,1] + ssd
+  /// x [1]": device counts per generated target.
+  std::string description;
+  LayoutProblem problem;   ///< targets filled in from the configuration
+  AdvisorResult advice;    ///< advisor output for that configuration
+};
+
+struct ConfiguratorOptions {
+  AdvisorOptions advisor;
+  /// Upper bound on distinct grouping patterns explored per pool (the
+  /// number of integer partitions grows quickly; the search keeps the
+  /// first `max_partitions_per_pool` in decreasing-group-size order).
+  int max_partitions_per_pool = 12;
+};
+
+/// Storage configurator (the paper's Section 8 future-work direction,
+/// after HP's Disk Array Designer): instead of taking storage targets as
+/// given, take pools of unconfigured devices, enumerate ways of grouping
+/// each pool into RAID0 targets (integer partitions of the device count),
+/// run the layout advisor on every combination, and return the
+/// configuration + layout minimizing the maximum estimated utilization.
+///
+/// Exhaustive over partition combinations (bounded by
+/// `max_partitions_per_pool`), which is practical for the single-digit
+/// device counts of the paper's scenarios.
+Result<ConfiguratorResult> RecommendConfiguration(
+    const ConfiguratorInput& input, ConfiguratorOptions options = {});
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_CORE_CONFIGURATOR_H_

@@ -1,0 +1,194 @@
+#include "core/harness.h"
+
+#include <utility>
+
+#include "storage/disk.h"
+#include "storage/lvm.h"
+#include "storage/ssd.h"
+#include "trace/analyzer.h"
+#include "trace/trace.h"
+#include "util/check.h"
+#include "util/table.h"
+
+namespace ldb {
+
+namespace {
+
+constexpr int64_t kTargetStripeBytes = 64 * kKiB;  // RAID0 chunk
+// LVM stripe size. 64 KiB matches the period's Linux LVM defaults: scan
+// requests span all of an object's targets, which is what makes SEE's
+// interference (and the advisor's isolation decisions) matter.
+constexpr int64_t kLvmStripeBytes = 64 * kKiB;
+
+int64_t ScaledCapacity(int64_t bytes, double scale) {
+  return std::max<int64_t>(4 * kMiB,
+                           static_cast<int64_t>(bytes * scale));
+}
+
+}  // namespace
+
+Result<ExperimentRig> ExperimentRig::Create(Catalog catalog,
+                                            std::vector<RigTargetDef> targets,
+                                            double scale, uint64_t seed) {
+  if (targets.empty()) {
+    return Status::InvalidArgument("rig needs at least one target");
+  }
+  if (scale <= 0.0) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+  ExperimentRig rig;
+  rig.catalog_ = std::move(catalog);
+  rig.targets_ = std::move(targets);
+  rig.scale_ = scale;
+  rig.seed_ = seed;
+
+  // Device prototypes, capacities scaled with the database.
+  DiskParams disk_params = Scsi15kParams();
+  disk_params.capacity_bytes = ScaledCapacity(disk_params.capacity_bytes,
+                                              scale);
+  for (const RigTargetDef& def : rig.targets_) {
+    if (def.name.empty()) {
+      return Status::InvalidArgument("rig target needs a name");
+    }
+    std::unique_ptr<BlockDevice> proto;
+    if (def.is_ssd) {
+      SsdParams ssd_params;
+      if (def.ssd_capacity_bytes > 0) {
+        ssd_params.capacity_bytes = def.ssd_capacity_bytes;
+      }
+      ssd_params.capacity_bytes =
+          ScaledCapacity(ssd_params.capacity_bytes, scale);
+      proto = std::make_unique<SsdModel>(ssd_params);
+    } else {
+      if (def.disk_members <= 0) {
+        return Status::InvalidArgument("disk target needs members > 0");
+      }
+      proto = std::make_unique<DiskModel>(disk_params);
+    }
+    TargetSpec spec;
+    spec.name = def.name;
+    spec.prototype = proto.get();
+    spec.num_members = def.is_ssd ? 1 : def.disk_members;
+    spec.stripe_bytes = kTargetStripeBytes;
+    spec.raid_level = def.raid_level;
+    rig.target_specs_.push_back(std::move(spec));
+    rig.prototypes_.push_back(std::move(proto));
+  }
+
+  // Calibrate one cost model per distinct device type. A reduced grid
+  // keeps calibration fast at small scales while covering the operating
+  // range; the full default grid is used at paper scale.
+  CalibrationOptions cal;
+  cal.seed = seed;
+  std::vector<const BlockDevice*> protos;
+  for (const auto& p : rig.prototypes_) protos.push_back(p.get());
+  auto registry = CostModelRegistry::ForDevices(protos, cal);
+  if (!registry.ok()) return registry.status();
+  rig.cost_models_ = std::move(registry).value();
+  return rig;
+}
+
+std::unique_ptr<StorageSystem> ExperimentRig::MakeSystem() const {
+  return std::make_unique<StorageSystem>(target_specs_);
+}
+
+std::vector<AdvisorTarget> ExperimentRig::AdvisorTargets() const {
+  std::vector<AdvisorTarget> out;
+  for (size_t t = 0; t < targets_.size(); ++t) {
+    AdvisorTarget at;
+    at.name = targets_[t].name;
+    const BlockDevice& proto = *prototypes_[t];
+    const int members = target_specs_[t].num_members;
+    at.raid_level = target_specs_[t].raid_level;
+    switch (at.raid_level) {
+      case RaidLevel::kRaid0:
+        at.capacity_bytes = proto.capacity_bytes() * members;
+        break;
+      case RaidLevel::kRaid1:
+        at.capacity_bytes = proto.capacity_bytes();
+        break;
+      case RaidLevel::kRaid5:
+        at.capacity_bytes = proto.capacity_bytes() * (members - 1);
+        break;
+    }
+    at.cost_model = cost_models_.Find(proto.model_name());
+    LDB_CHECK(at.cost_model != nullptr);
+    at.num_members = members;
+    at.stripe_bytes = kTargetStripeBytes;
+    out.push_back(std::move(at));
+  }
+  return out;
+}
+
+Result<RunResult> ExperimentRig::Execute(const Layout& layout,
+                                         const OlapSpec* olap,
+                                         const OltpSpec* oltp,
+                                         double oltp_duration_s) const {
+  if (!layout.IsRegular()) {
+    return Status::FailedPrecondition(
+        "Execute requires a regular layout (the LVM stripes round-robin)");
+  }
+  auto system = MakeSystem();
+  std::vector<std::vector<int>> placements;
+  placements.reserve(static_cast<size_t>(catalog_.num_objects()));
+  for (int i = 0; i < catalog_.num_objects(); ++i) {
+    placements.push_back(layout.TargetsOf(i));
+  }
+  auto volumes =
+      StripedVolumeManager::Create(catalog_.sizes(), std::move(placements),
+                                   system->capacities(), kLvmStripeBytes);
+  if (!volumes.ok()) return volumes.status();
+
+  WorkloadRunner runner(system.get(), &*volumes, seed_);
+  if (olap != nullptr && oltp != nullptr) return runner.RunMixed(*olap, *oltp);
+  if (olap != nullptr) return runner.RunOlap(*olap);
+  if (oltp != nullptr) return runner.RunOltp(*oltp, oltp_duration_s);
+  return Status::InvalidArgument("no workload given");
+}
+
+Result<WorkloadSet> ExperimentRig::FitWorkloads(const Layout& trace_layout,
+                                                const OlapSpec* olap,
+                                                const OltpSpec* oltp,
+                                                double oltp_duration_s) const {
+  if (!trace_layout.IsRegular()) {
+    return Status::FailedPrecondition("tracing layout must be regular");
+  }
+  auto system = MakeSystem();
+  std::vector<std::vector<int>> placements;
+  placements.reserve(static_cast<size_t>(catalog_.num_objects()));
+  for (int i = 0; i < catalog_.num_objects(); ++i) {
+    placements.push_back(trace_layout.TargetsOf(i));
+  }
+  auto volumes =
+      StripedVolumeManager::Create(catalog_.sizes(), std::move(placements),
+                                   system->capacities(), kLvmStripeBytes);
+  if (!volumes.ok()) return volumes.status();
+
+  // Fit from the object-level (pre-striping) request stream: the paper's
+  // W_i describe objects, not their current on-target placement.
+  IoTrace trace;
+  WorkloadRunner runner(system.get(), &*volumes, seed_);
+  runner.set_logical_observer([&trace](const IoEvent& ev) { trace.Add(ev); });
+  Result<RunResult> run = Status::Internal("unreachable");
+  if (olap != nullptr && oltp != nullptr) {
+    run = runner.RunMixed(*olap, *oltp);
+  } else if (olap != nullptr) {
+    run = runner.RunOlap(*olap);
+  } else if (oltp != nullptr) {
+    run = runner.RunOltp(*oltp, oltp_duration_s);
+  } else {
+    return Status::InvalidArgument("no workload given");
+  }
+  if (!run.ok()) return run.status();
+
+  TraceAnalyzer analyzer;
+  return analyzer.Analyze(trace, catalog_.num_objects());
+}
+
+Result<LayoutProblem> ExperimentRig::MakeProblem(
+    WorkloadSet workloads) const {
+  return MakeLayoutProblem(catalog_, AdvisorTargets(), std::move(workloads),
+                           kLvmStripeBytes);
+}
+
+}  // namespace ldb

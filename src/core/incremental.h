@@ -1,0 +1,35 @@
+#ifndef LAYOUTDB_CORE_INCREMENTAL_H_
+#define LAYOUTDB_CORE_INCREMENTAL_H_
+
+#include "core/problem.h"
+#include "core/regularize.h"
+#include "model/layout.h"
+#include "util/status.h"
+
+namespace ldb {
+
+/// Incremental placement (paper Section 8): dynamic environments such as
+/// NetApp FlexVols allocate capacity as data is written, rather than in an
+/// up-front configuration step. This routine extends an existing layout
+/// with newly created objects *without moving anything already placed* —
+/// the advisor's models guide each allocation decision the way the paper
+/// suggests they "could be used to guide the storage system's dynamic
+/// allocation decisions".
+///
+/// `current` holds the frozen layout: rows of already-placed objects must
+/// be regular and sum to 1; rows of objects to place must be all-zero.
+/// New objects are placed one at a time in decreasing request-rate order,
+/// each on the candidate set (singletons through full stripes over the
+/// least-loaded targets) minimizing the maximum estimated utilization,
+/// subject to capacity and placement constraints.
+///
+/// \returns the extended layout; Infeasible when a new object fits
+///   nowhere without moving frozen rows (re-run the full advisor), or
+///   InvalidArgument for malformed inputs.
+Result<Layout> PlaceIncrementally(const LayoutProblem& problem,
+                                  const Layout& current,
+                                  RegularizerOptions options = {});
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_CORE_INCREMENTAL_H_

@@ -1,0 +1,73 @@
+#include "core/initial.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/table.h"
+
+namespace ldb {
+
+Result<Layout> InitialLayout(const LayoutProblem& problem) {
+  LDB_RETURN_IF_ERROR(problem.Validate());
+  const int n = problem.num_objects();
+  const int m = problem.num_targets();
+
+  // Objects in decreasing order of total request rate; ties by size
+  // (larger first) so big cold objects are placed while space is plentiful.
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const double ra = problem.workloads[static_cast<size_t>(a)].total_rate();
+    const double rb = problem.workloads[static_cast<size_t>(b)].total_rate();
+    if (ra != rb) return ra > rb;
+    return problem.object_sizes[static_cast<size_t>(a)] >
+           problem.object_sizes[static_cast<size_t>(b)];
+  });
+
+  Layout layout(n, m);
+  std::vector<double> assigned_rate(static_cast<size_t>(m), 0.0);
+  std::vector<int64_t> remaining = problem.capacities();
+
+  // Track single-target placements for separation checks.
+  std::vector<int> placed_on(static_cast<size_t>(n), -1);
+  for (int i : order) {
+    const int64_t size = problem.object_sizes[static_cast<size_t>(i)];
+    const std::vector<int>& allowed = problem.constraints.AllowedFor(i);
+    int best = -1;
+    for (int j = 0; j < m; ++j) {
+      if (remaining[static_cast<size_t>(j)] < size) continue;
+      if (!allowed.empty() &&
+          std::find(allowed.begin(), allowed.end(), j) == allowed.end()) {
+        continue;
+      }
+      bool separated_ok = true;
+      for (const auto& [a, b] : problem.constraints.separate) {
+        const int partner = a == i ? b : (b == i ? a : -1);
+        if (partner >= 0 && placed_on[static_cast<size_t>(partner)] == j) {
+          separated_ok = false;
+          break;
+        }
+      }
+      if (!separated_ok) continue;
+      if (best < 0 || assigned_rate[static_cast<size_t>(j)] <
+                          assigned_rate[static_cast<size_t>(best)]) {
+        best = j;
+      }
+    }
+    if (best < 0) {
+      return Status::Infeasible(StrFormat(
+          "object %s (%lld bytes) fits on no target",
+          problem.object_names[static_cast<size_t>(i)].c_str(),
+          static_cast<long long>(size)));
+    }
+    layout.Set(i, best, 1.0);
+    placed_on[static_cast<size_t>(i)] = best;
+    assigned_rate[static_cast<size_t>(best)] +=
+        problem.workloads[static_cast<size_t>(i)].total_rate();
+    remaining[static_cast<size_t>(best)] -= size;
+  }
+  return layout;
+}
+
+}  // namespace ldb

@@ -1,0 +1,25 @@
+#ifndef LAYOUTDB_CORE_INITIAL_H_
+#define LAYOUTDB_CORE_INITIAL_H_
+
+#include "core/problem.h"
+#include "model/layout.h"
+#include "util/status.h"
+
+namespace ldb {
+
+/// Computes the advisor's initial layout (paper Section 4.2): objects are
+/// placed one at a time in decreasing order of total request rate, each
+/// assigned entirely to the storage target with the lowest total assigned
+/// request rate among those with enough remaining capacity.
+///
+/// The result is approximately rate-balanced but interference- and
+/// heterogeneity-oblivious — it exists to give the NLP solver a reasonable,
+/// asymmetric starting point (SEE tends to be a local optimum the solver
+/// cannot escape).
+///
+/// \returns Infeasible if some object fits on no remaining target.
+Result<Layout> InitialLayout(const LayoutProblem& problem);
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_CORE_INITIAL_H_

@@ -1,0 +1,58 @@
+#ifndef LAYOUTDB_CORE_PROBLEM_IO_H_
+#define LAYOUTDB_CORE_PROBLEM_IO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/problem.h"
+#include "model/cost_model.h"
+
+namespace ldb {
+
+/// A layout problem loaded from text, owning its calibrated cost models.
+struct LoadedProblem {
+  LayoutProblem problem;
+  std::vector<std::unique_ptr<CostModel>> owned_models;
+};
+
+/// Parses the layoutdb problem-file format — the input of the standalone
+/// advisor CLI (the deployment mode the paper proposes in Section 8).
+///
+/// Line-oriented; `#` starts a comment. Sizes accept `KiB`/`MiB`/`GiB`
+/// suffixes. Directives:
+///
+///   lvm_stripe <size>
+///   device <name> builtin:<model>         # disk-15k | disk-7200 | ssd
+///   target <name> <device> capacity <size> [members <n>] [stripe <size>]
+///   object <name> <table|index|temp|log> <size>
+///   workload <object> read_rate <r/s> read_size <size>
+///            write_rate <r/s> write_size <size> run_count <q>
+///   overlap <object_a> <object_b> <fraction>      # symmetric O_a[b]=O_b[a]
+///   self_overlap <object> <mean concurrent requests>
+///   pin <object> <target> [<target> ...]          # allowed targets
+///   separate <object_a> <object_b>
+///
+/// `device` calibrates the built-in device model on first use (one
+/// calibration per distinct model per load).
+Result<LoadedProblem> ParseProblemText(const std::string& text);
+
+/// Reads and parses a problem file from disk.
+Result<LoadedProblem> LoadProblemFile(const std::string& path);
+
+/// Renders an advisor result as a human-readable report (layouts,
+/// per-stage utilizations, timings) for the CLI.
+std::string FormatAdvisorReport(const LayoutProblem& problem,
+                                const AdvisorResult& result);
+
+/// Serializes a problem back to the problem-file format, so fitted
+/// workloads can be saved, edited, and fed to the CLI. Device lines use
+/// the cost models' device-model names, which round-trip for the builtin
+/// models ("disk-15k", "disk-7200", "ssd"); custom cost models serialize
+/// as builtin references by name and may not round-trip exactly.
+std::string FormatProblemText(const LayoutProblem& problem);
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_CORE_PROBLEM_IO_H_

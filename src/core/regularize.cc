@@ -1,0 +1,191 @@
+#include "core/regularize.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace ldb {
+
+Regularizer::Regularizer(const LayoutProblem* problem,
+                         const TargetModel* model,
+                         RegularizerOptions options)
+    : problem_(problem), model_(model), options_(options) {
+  LDB_CHECK(problem_ != nullptr);
+  LDB_CHECK(model_ != nullptr);
+}
+
+RegularCandidateChoice BestRegularRowForObject(
+    const LayoutProblem& problem, const TargetModel& model,
+    const RegularizerOptions& options, Layout* current, int i,
+    const std::vector<double>& mu) {
+  const int m = problem.num_targets();
+  const std::vector<int64_t> capacities = problem.capacities();
+
+  std::vector<bool> was_nonzero(static_cast<size_t>(m), false);
+  for (int j = 0; j < m; ++j) {
+    was_nonzero[static_cast<size_t>(j)] =
+        current->At(i, j) > options.zero_tolerance;
+  }
+
+  // Class 1 (consistent): targets by current fraction, descending; ties
+  // broken by target id (paper footnote 1).
+  std::vector<int> by_fraction(static_cast<size_t>(m));
+  std::iota(by_fraction.begin(), by_fraction.end(), 0);
+  std::stable_sort(by_fraction.begin(), by_fraction.end(), [&](int a, int b) {
+    return current->At(i, a) > current->At(i, b);
+  });
+  // Class 2 (balancing): targets by current load, ascending.
+  std::vector<int> by_load(static_cast<size_t>(m));
+  std::iota(by_load.begin(), by_load.end(), 0);
+  std::stable_sort(by_load.begin(), by_load.end(), [&](int a, int b) {
+    return mu[static_cast<size_t>(a)] < mu[static_cast<size_t>(b)];
+  });
+
+  std::vector<std::vector<int>> candidates;
+  candidates.reserve(static_cast<size_t>(2 * m));
+  for (int k = 1; k <= m; ++k) {
+    candidates.emplace_back(by_fraction.begin(), by_fraction.begin() + k);
+    if (options.balancing_candidates) {
+      candidates.emplace_back(by_load.begin(), by_load.begin() + k);
+    }
+  }
+  // Administrative constraints: drop candidates using disallowed targets
+  // or co-locating with a separation partner.
+  if (!problem.constraints.empty()) {
+    const std::vector<int>& allowed = problem.constraints.AllowedFor(i);
+    std::vector<std::vector<int>> filtered;
+    for (std::vector<int>& targets : candidates) {
+      bool ok = true;
+      if (!allowed.empty()) {
+        for (int j : targets) {
+          if (std::find(allowed.begin(), allowed.end(), j) == allowed.end()) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        for (const auto& [a, b] : problem.constraints.separate) {
+          const int partner = a == i ? b : (b == i ? a : -1);
+          if (partner < 0) continue;
+          for (int j : targets) {
+            if (current->At(partner, j) > options.zero_tolerance) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) break;
+        }
+      }
+      if (ok) filtered.push_back(std::move(targets));
+    }
+    candidates = std::move(filtered);
+  }
+
+  const std::vector<double> saved_row(current->Row(i), current->Row(i) + m);
+  RegularCandidateChoice best;
+  for (const std::vector<int>& targets : candidates) {
+    current->SetRowRegular(i, targets);
+    if (!current->SatisfiesCapacity(problem.object_sizes, capacities)) {
+      continue;
+    }
+    // Only columns the row change touches need re-evaluation.
+    std::vector<double> trial_mu = mu;
+    double objective = 0.0;
+    for (int j = 0; j < m; ++j) {
+      const bool now_nonzero = current->At(i, j) > 0.0;
+      if (was_nonzero[static_cast<size_t>(j)] || now_nonzero) {
+        trial_mu[static_cast<size_t>(j)] =
+            model.TargetUtilization(problem.workloads, *current, j);
+      }
+      objective = std::max(objective, trial_mu[static_cast<size_t>(j)]);
+    }
+    if (!best.found || objective < best.objective) {
+      best.found = true;
+      best.objective = objective;
+      best.targets = targets;
+      best.mu = std::move(trial_mu);
+    }
+  }
+  // Restore; the caller applies the winner.
+  std::copy(saved_row.begin(), saved_row.end(), current->Row(i));
+  return best;
+}
+
+Result<Layout> Regularizer::Regularize(const Layout& solver_layout) const {
+  LDB_RETURN_IF_ERROR(problem_->Validate());
+  const int n = problem_->num_objects();
+  const int m = problem_->num_targets();
+  if (solver_layout.num_objects() != n || solver_layout.num_targets() != m) {
+    return Status::InvalidArgument("layout dimensions mismatch problem");
+  }
+
+  // Object order: decreasing total imposed load Σ_j µ_ij under the
+  // solver's layout.
+  std::vector<double> mu_ij;
+  model_->Utilizations(problem_->workloads, solver_layout, &mu_ij);
+  std::vector<double> object_load(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      object_load[static_cast<size_t>(i)] +=
+          mu_ij[static_cast<size_t>(i) * static_cast<size_t>(m) +
+                static_cast<size_t>(j)];
+    }
+  }
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return object_load[static_cast<size_t>(a)] >
+           object_load[static_cast<size_t>(b)];
+  });
+
+  Layout current = solver_layout;
+  std::vector<double> mu(static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    mu[static_cast<size_t>(j)] =
+        model_->TargetUtilization(problem_->workloads, current, j);
+  }
+
+  // Greedy pass: regularize one object at a time (paper Section 4.3).
+  for (int i : order) {
+    RegularCandidateChoice choice = BestRegularRowForObject(
+        *problem_, *model_, options_, &current, i, mu);
+    if (!choice.found) {
+      return Status::Infeasible(StrFormat(
+          "no regular candidate for object %s fits the capacity "
+          "constraints; manual intervention required",
+          problem_->object_names[static_cast<size_t>(i)].c_str()));
+    }
+    current.SetRowRegular(i, choice.targets);
+    mu = std::move(choice.mu);
+  }
+
+  // Refinement sweeps: with the whole layout now regular, revisit each
+  // object's candidates and keep strict improvements until a fixpoint.
+  for (int pass = 0; pass < options_.refinement_passes; ++pass) {
+    bool improved = false;
+    for (int i : order) {
+      const double current_objective =
+          *std::max_element(mu.begin(), mu.end());
+      RegularCandidateChoice choice = BestRegularRowForObject(
+          *problem_, *model_, options_, &current, i, mu);
+      if (choice.found && choice.objective < current_objective - 1e-12) {
+        const std::vector<int> previous = current.TargetsOf(i);
+        if (previous != choice.targets) {
+          current.SetRowRegular(i, choice.targets);
+          mu = std::move(choice.mu);
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  LDB_CHECK(current.IsRegular(1e-9));
+  return current;
+}
+
+}  // namespace ldb

@@ -1,0 +1,81 @@
+#ifndef LAYOUTDB_CORE_REGULARIZE_H_
+#define LAYOUTDB_CORE_REGULARIZE_H_
+
+#include "core/problem.h"
+#include "model/layout.h"
+#include "model/target_model.h"
+#include "util/status.h"
+
+namespace ldb {
+
+/// Options for the regularization post-processing step.
+struct RegularizerOptions {
+  /// Layout entries at or below this are treated as zero when ordering
+  /// targets by solver fraction.
+  double zero_tolerance = 1e-4;
+  /// After the greedy pass, up to this many refinement sweeps re-evaluate
+  /// every object's candidate set against the now-regular layout and move
+  /// objects while the maximum utilization improves. This corrects the
+  /// greedy pass's myopia when the solver's layout is far from regular
+  /// (each sweep stops early at a fixpoint).
+  int refinement_passes = 3;
+  /// Generate the second candidate class (balancing layouts on the
+  /// currently least-loaded targets). Disabling leaves only the
+  /// consistent-with-solver candidates — an ablation of the design choice
+  /// discussed in paper Section 4.3.
+  bool balancing_candidates = true;
+};
+
+/// Regularization post-processor (paper Section 4.3): converts the
+/// solver's optimized but generally non-regular layout into a regular one
+/// implementable by round-robin striping.
+///
+/// Objects are regularized one at a time in decreasing order of the total
+/// load Σ_j µ_ij they impose, so imbalances introduced early can be
+/// corrected by later objects. For each object, 2M candidate regular rows
+/// are evaluated:
+///  * M "consistent" candidates — the object striped across its top-k
+///    targets by solver fraction (k = 1..M, ties broken by target id);
+///  * M "balancing" candidates — the object striped across the k currently
+///    least-loaded targets.
+/// Candidates violating capacity are dropped; the one minimizing the
+/// maximum estimated target utilization wins.
+/// Outcome of searching the 2M regular candidates for one object.
+struct RegularCandidateChoice {
+  bool found = false;
+  double objective = 0.0;  ///< max_j µ_j with the candidate applied
+  std::vector<int> targets;
+  std::vector<double> mu;  ///< refreshed per-target utilization cache
+};
+
+/// Generates the paper's 2M candidate regular rows for object `i`
+/// (consistent with the current row's fractions, and balancing onto the
+/// least-loaded targets), drops capacity/constraint violators, and returns
+/// the one minimizing the maximum utilization. `mu` is the per-target
+/// utilization cache for `current`; the winner's refreshed cache is
+/// returned. Shared by the regularizer and incremental placement.
+RegularCandidateChoice BestRegularRowForObject(
+    const LayoutProblem& problem, const TargetModel& model,
+    const RegularizerOptions& options, Layout* current, int i,
+    const std::vector<double>& mu);
+
+class Regularizer {
+ public:
+  /// `problem` and `model` must outlive the regularizer.
+  Regularizer(const LayoutProblem* problem, const TargetModel* model,
+              RegularizerOptions options = {});
+
+  /// Returns the regularized layout, or Infeasible if some object admits
+  /// no capacity-respecting candidate (the paper's "manual intervention"
+  /// case, only expected under very tight space constraints).
+  Result<Layout> Regularize(const Layout& solver_layout) const;
+
+ private:
+  const LayoutProblem* problem_;
+  const TargetModel* model_;
+  RegularizerOptions options_;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_CORE_REGULARIZE_H_

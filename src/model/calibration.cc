@@ -1,0 +1,155 @@
+#include "model/calibration.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace ldb {
+
+namespace {
+
+/// Measures the mean primary-request service time at one grid point.
+///
+/// Each "round" consists of one primary request plus `contention`
+/// interfering random requests (fractional contention accumulates across
+/// rounds). The round's requests are served shortest-positioning-first
+/// against the stateful device, emulating a loaded device queue; the
+/// primary's own service time is recorded.
+double MeasurePoint(BlockDevice* dev, double request_size, double run_count,
+                    double contention, bool primary_is_write,
+                    const CalibrationOptions& opts, Rng* rng) {
+  dev->Reset();
+  const int64_t size = static_cast<int64_t>(request_size);
+  const int64_t capacity = dev->capacity_bytes();
+  LDB_CHECK_GT(capacity, size);
+  const int64_t run_len = std::max<int64_t>(1, static_cast<int64_t>(run_count));
+
+  auto random_offset = [&](int64_t req_size) {
+    // Align to the request size to mimic block-aligned access.
+    const int64_t slots = (capacity - req_size) / req_size;
+    return rng->UniformInt(int64_t{0}, slots) * req_size;
+  };
+
+  int64_t next_offset = random_offset(size);
+  int64_t run_pos = 0;
+  double interferer_credit = 0.0;
+
+  double total = 0.0;
+  int measured = 0;
+  const int rounds = opts.warmup_requests + opts.sample_requests;
+  std::vector<DeviceRequest> batch;
+  for (int round = 0; round < rounds; ++round) {
+    batch.clear();
+    // Primary request: continue the current sequential run or jump.
+    if (run_pos >= run_len || next_offset + size > capacity) {
+      next_offset = random_offset(size);
+      run_pos = 0;
+    }
+    const DeviceRequest primary{next_offset, size, primary_is_write};
+    next_offset += size;
+    ++run_pos;
+    batch.push_back(primary);
+
+    // Interfering requests: `contention` random reads per primary request.
+    interferer_credit += contention;
+    while (interferer_credit >= 1.0) {
+      batch.push_back(DeviceRequest{random_offset(opts.interferer_size_bytes),
+                                    opts.interferer_size_bytes, false});
+      interferer_credit -= 1.0;
+    }
+
+    // Serve the round shortest-positioning-first (index 0 starts as the
+    // primary; track it across erasures).
+    size_t primary_idx = 0;
+    while (!batch.empty()) {
+      size_t best = 0;
+      double best_cost = dev->PositioningEstimate(batch[0]);
+      for (size_t b = 1; b < batch.size(); ++b) {
+        const double c = dev->PositioningEstimate(batch[b]);
+        if (c < best_cost) {
+          best_cost = c;
+          best = b;
+        }
+      }
+      const double t = dev->ServiceTime(batch[best]);
+      if (best == primary_idx) {
+        if (round >= opts.warmup_requests) {
+          total += t;
+          ++measured;
+        }
+        primary_idx = batch.size();  // served; no longer in the batch
+      }
+      batch.erase(batch.begin() + static_cast<std::ptrdiff_t>(best));
+      if (best < primary_idx) --primary_idx;
+    }
+  }
+  LDB_CHECK_GT(measured, 0);
+  return total / measured;
+}
+
+}  // namespace
+
+Result<CostModel> CalibrateDevice(const BlockDevice& prototype,
+                                  const CalibrationOptions& options) {
+  if (options.size_axis.empty() || options.run_axis.empty() ||
+      options.contention_axis.empty()) {
+    return Status::InvalidArgument("calibration axes must be non-empty");
+  }
+  if (options.sample_requests <= 0) {
+    return Status::InvalidArgument("sample_requests must be positive");
+  }
+  std::unique_ptr<BlockDevice> dev = prototype.Clone();
+  Rng rng(options.seed);
+
+  std::vector<double> read_costs, write_costs;
+  const size_t points = options.size_axis.size() * options.run_axis.size() *
+                        options.contention_axis.size();
+  read_costs.reserve(points);
+  write_costs.reserve(points);
+  for (double size : options.size_axis) {
+    for (double run : options.run_axis) {
+      for (double chi : options.contention_axis) {
+        read_costs.push_back(
+            MeasurePoint(dev.get(), size, run, chi, false, options, &rng));
+        write_costs.push_back(
+            MeasurePoint(dev.get(), size, run, chi, true, options, &rng));
+      }
+    }
+  }
+  return CostModel::Create(prototype.model_name(), options.size_axis,
+                           options.run_axis, options.contention_axis,
+                           std::move(read_costs), std::move(write_costs));
+}
+
+void CostModelRegistry::Register(CostModel model) {
+  const std::string name = model.device_model();
+  models_.erase(name);
+  models_.emplace(name, std::move(model));
+}
+
+const CostModel* CostModelRegistry::Find(
+    const std::string& device_model) const {
+  const auto it = models_.find(device_model);
+  return it == models_.end() ? nullptr : &it->second;
+}
+
+Result<CostModelRegistry> CostModelRegistry::ForDevices(
+    const std::vector<const BlockDevice*>& prototypes,
+    const CalibrationOptions& options) {
+  CostModelRegistry registry;
+  for (const BlockDevice* proto : prototypes) {
+    if (proto == nullptr) {
+      return Status::InvalidArgument("null device prototype");
+    }
+    if (registry.Find(proto->model_name()) != nullptr) continue;
+    auto model = CalibrateDevice(*proto, options);
+    if (!model.ok()) return model.status();
+    registry.Register(std::move(model).value());
+  }
+  return registry;
+}
+
+}  // namespace ldb

@@ -1,0 +1,68 @@
+#ifndef LAYOUTDB_MODEL_CALIBRATION_H_
+#define LAYOUTDB_MODEL_CALIBRATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/cost_model.h"
+#include "storage/device.h"
+#include "util/units.h"
+
+namespace ldb {
+
+/// Calibration workload grid and sampling parameters.
+struct CalibrationOptions {
+  std::vector<double> size_axis = {
+      static_cast<double>(4 * kKiB),   static_cast<double>(8 * kKiB),
+      static_cast<double>(16 * kKiB),  static_cast<double>(32 * kKiB),
+      static_cast<double>(64 * kKiB),  static_cast<double>(128 * kKiB),
+      static_cast<double>(256 * kKiB), static_cast<double>(512 * kKiB),
+      static_cast<double>(kMiB)};
+  std::vector<double> run_axis = {1, 2, 4, 8, 16, 32, 64, 128};
+  std::vector<double> contention_axis = {0, 0.5, 1, 2, 4, 8, 16};
+  int warmup_requests = 32;   ///< discarded before measuring
+  int sample_requests = 256;  ///< measured requests per grid point
+  int64_t interferer_size_bytes = 8 * kKiB;
+  uint64_t seed = 1;
+};
+
+/// Builds a black-box cost model for a device type by measurement (paper
+/// Section 5.2.2): for every (request size, run count, contention) grid
+/// point, subjects a fresh copy of the device to a primary request stream
+/// with those properties plus `contention` interfering random requests per
+/// primary request, and tabulates the mean primary service time. Requests
+/// are served shortest-positioning-first, mimicking a device queue under
+/// concurrent load, which is what produces the paper's Figure 8 effects
+/// (sequential advantage collapsing around χ=2; random cost decreasing
+/// with queue depth).
+Result<CostModel> CalibrateDevice(const BlockDevice& prototype,
+                                  const CalibrationOptions& options = {});
+
+/// A set of calibrated cost models keyed by device model name. Benchmarks
+/// calibrate each distinct device type once and share the registry across
+/// advisor runs.
+class CostModelRegistry {
+ public:
+  CostModelRegistry() = default;
+
+  /// Adds (or replaces) a model under its device_model() name.
+  void Register(CostModel model);
+
+  /// Looks up the model for a device type; nullptr if absent.
+  const CostModel* Find(const std::string& device_model) const;
+
+  /// Calibrates every distinct device model among `prototypes` and returns
+  /// the populated registry.
+  static Result<CostModelRegistry> ForDevices(
+      const std::vector<const BlockDevice*>& prototypes,
+      const CalibrationOptions& options = {});
+
+ private:
+  std::map<std::string, CostModel> models_;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_MODEL_CALIBRATION_H_

@@ -1,0 +1,45 @@
+#ifndef LAYOUTDB_MODEL_LAYOUT_MODEL_H_
+#define LAYOUTDB_MODEL_LAYOUT_MODEL_H_
+
+#include <cstdint>
+
+#include "model/workload.h"
+#include "util/units.h"
+
+namespace ldb {
+
+/// The workload parameters object i imposes on one target under a layout
+/// (the W_ij of the paper). Overlap is not materialized here: per Figure 7
+/// it is O_i[k] gated by co-location, which the target model applies
+/// directly.
+struct PerTargetWorkload {
+  double read_rate = 0.0;
+  double write_rate = 0.0;
+  double read_size = 0.0;
+  double write_size = 0.0;
+  double run_count = 1.0;
+
+  double total_rate() const { return read_rate + write_rate; }
+};
+
+/// Layout model for an LVM that stripes objects round-robin over targets
+/// (paper Figure 7). Transforms an object workload W_i into the per-target
+/// workload W_ij implied by assigning fraction `fraction` of the object to
+/// the target.
+class LvmLayoutModel {
+ public:
+  explicit LvmLayoutModel(int64_t stripe_bytes = kMiB);
+
+  /// Computes W_ij for L_ij = `fraction`. A zero fraction yields an
+  /// all-zero workload.
+  PerTargetWorkload Transform(const WorkloadDesc& w, double fraction) const;
+
+  int64_t stripe_bytes() const { return stripe_bytes_; }
+
+ private:
+  int64_t stripe_bytes_;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_MODEL_LAYOUT_MODEL_H_

@@ -1,0 +1,162 @@
+#include "model/target_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ldb {
+
+namespace {
+
+/// Rates below this are treated as "object not present on target".
+constexpr double kRateEpsilon = 1e-12;
+
+}  // namespace
+
+TargetModel::TargetModel(std::vector<TargetModelInfo> targets,
+                         LvmLayoutModel layout_model)
+    : targets_(std::move(targets)), layout_model_(layout_model) {
+  LDB_CHECK(!targets_.empty());
+  for (const TargetModelInfo& t : targets_) {
+    LDB_CHECK(t.cost_model != nullptr);
+    LDB_CHECK_GT(t.num_members, 0);
+    LDB_CHECK_GT(t.stripe_bytes, 0);
+  }
+}
+
+double TargetModel::TargetUtilizationInternal(
+    const WorkloadSet& workloads, const Layout& layout, int j,
+    std::vector<double>* mu_i) const {
+  const int n = layout.num_objects();
+  const TargetModelInfo& tgt = targets_[static_cast<size_t>(j)];
+  if (mu_i != nullptr) mu_i->assign(static_cast<size_t>(n), 0.0);
+
+  // Pass 1: per-target workloads for every object present on the target.
+  std::vector<PerTargetWorkload> per(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    per[static_cast<size_t>(i)] = layout_model_.Transform(
+        workloads[static_cast<size_t>(i)], std::max(0.0, layout.At(i, j)));
+  }
+
+  // Pass 2: contention factors (Eq. 2) and utilizations (Eq. 1).
+  double mu_j = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const PerTargetWorkload& wij = per[static_cast<size_t>(i)];
+    const double rate_ij = wij.total_rate();
+    if (rate_ij <= kRateEpsilon) continue;
+    const WorkloadDesc& wi = workloads[static_cast<size_t>(i)];
+
+    // χ_ij (Eq. 2): temporally-correlated competing requests per own
+    // request, plus the self-overlap extension — an object's own
+    // concurrent streams compete with each other wherever the object is
+    // placed, so the fitted mean concurrent-request count is added
+    // directly (it does not dilute with striping: the streams follow the
+    // object onto every target).
+    double interfering = 0.0;
+    for (int k = 0; k < n; ++k) {
+      if (k == i) continue;
+      const double rate_kj = per[static_cast<size_t>(k)].total_rate();
+      if (rate_kj <= kRateEpsilon) continue;
+      interfering += rate_kj * wi.overlap[static_cast<size_t>(k)];
+    }
+    const double chi =
+        interfering / rate_ij + wi.overlap[static_cast<size_t>(i)];
+
+    // Per-request member-busy-seconds, normalized by the member count so
+    // the result is a utilization contribution.
+    //
+    // RAID0: a request of B bytes touches `involved` members, each
+    // transferring ~B/involved: involved * Cost(B/involved) / k.
+    // RAID1: reads land on one member (Cost(B)/k); writes go to every
+    // member (k * Cost(B) / k = Cost(B)).
+    // RAID5: reads stripe over the k-1 data members like RAID0; writes add
+    // a parity read-modify-write (~2 extra chunk accesses per row).
+    auto member_cost = [&](bool is_write, double size) {
+      if (size <= 0.0) return 0.0;
+      const double k = tgt.num_members;
+      const double chunks =
+          std::ceil(size / static_cast<double>(tgt.stripe_bytes));
+      switch (tgt.raid_level) {
+        case RaidLevel::kRaid1: {
+          const double cost =
+              tgt.cost_model->Cost(is_write, size, wij.run_count, chi);
+          return is_write ? cost : cost / k;
+        }
+        case RaidLevel::kRaid5: {
+          const double data_cols = std::max(1.0, k - 1);
+          const double involved = std::min(data_cols, std::max(1.0, chunks));
+          const double per_member_size = size / involved;
+          double busy = involved * tgt.cost_model->Cost(is_write,
+                                                        per_member_size,
+                                                        wij.run_count, chi);
+          if (is_write) {
+            // Parity RMW: one read + one write of a chunk-sized extent on
+            // the parity member per touched row.
+            const double rows = std::max(1.0, chunks / data_cols);
+            const double parity_size =
+                std::min(size, static_cast<double>(tgt.stripe_bytes));
+            busy += rows * (tgt.cost_model->Cost(false, parity_size,
+                                                 wij.run_count, chi) +
+                            tgt.cost_model->Cost(true, parity_size,
+                                                 wij.run_count, chi));
+          }
+          return busy / k;
+        }
+        case RaidLevel::kRaid0:
+          break;
+      }
+      const double involved = std::min(k, std::max(1.0, chunks));
+      const double per_member_size = size / involved;
+      return tgt.cost_model->Cost(is_write, per_member_size, wij.run_count,
+                                  chi) *
+             involved / k;
+    };
+    const double mu_ij = wij.read_rate * member_cost(false, wij.read_size) +
+                         wij.write_rate * member_cost(true, wij.write_size);
+    if (mu_i != nullptr) (*mu_i)[static_cast<size_t>(i)] = mu_ij;
+    mu_j += mu_ij;
+  }
+  return mu_j;
+}
+
+double TargetModel::TargetUtilization(const WorkloadSet& workloads,
+                                      const Layout& layout, int j) const {
+  LDB_CHECK_GE(j, 0);
+  LDB_CHECK_LT(j, num_targets());
+  LDB_CHECK_EQ(workloads.size(), static_cast<size_t>(layout.num_objects()));
+  return TargetUtilizationInternal(workloads, layout, j, nullptr);
+}
+
+std::vector<double> TargetModel::Utilizations(
+    const WorkloadSet& workloads, const Layout& layout,
+    std::vector<double>* mu_ij) const {
+  const int n = layout.num_objects();
+  const int m = layout.num_targets();
+  LDB_CHECK_EQ(m, num_targets());
+  LDB_CHECK_EQ(workloads.size(), static_cast<size_t>(n));
+  if (mu_ij != nullptr) {
+    mu_ij->assign(static_cast<size_t>(n) * static_cast<size_t>(m), 0.0);
+  }
+  std::vector<double> mu(static_cast<size_t>(m), 0.0);
+  std::vector<double> mu_i;
+  for (int j = 0; j < m; ++j) {
+    mu[static_cast<size_t>(j)] = TargetUtilizationInternal(
+        workloads, layout, j, mu_ij != nullptr ? &mu_i : nullptr);
+    if (mu_ij != nullptr) {
+      for (int i = 0; i < n; ++i) {
+        (*mu_ij)[static_cast<size_t>(i) * static_cast<size_t>(m) +
+                 static_cast<size_t>(j)] = mu_i[static_cast<size_t>(i)];
+      }
+    }
+  }
+  return mu;
+}
+
+double TargetModel::MaxUtilization(const WorkloadSet& workloads,
+                                   const Layout& layout) const {
+  const std::vector<double> mu = Utilizations(workloads, layout);
+  return *std::max_element(mu.begin(), mu.end());
+}
+
+}  // namespace ldb

@@ -1,0 +1,21 @@
+#include "model/workload.h"
+
+namespace ldb {
+
+bool IsValidWorkload(const WorkloadDesc& w, size_t n, size_t self_index) {
+  if (w.read_rate < 0 || w.write_rate < 0) return false;
+  if (w.read_size < 0 || w.write_size < 0) return false;
+  if (w.read_rate > 0 && w.read_size <= 0) return false;
+  if (w.write_rate > 0 && w.write_size <= 0) return false;
+  if (w.run_count < 1.0) return false;
+  if (w.overlap.size() != n) return false;
+  for (size_t k = 0; k < w.overlap.size(); ++k) {
+    if (w.overlap[k] < 0.0) return false;
+    // Off-diagonal entries are fractions; the diagonal (self-overlap) is a
+    // mean concurrent-request count and may exceed 1.
+    if (k != self_index && w.overlap[k] > 1.0) return false;
+  }
+  return true;
+}
+
+}  // namespace ldb

@@ -1,0 +1,56 @@
+#ifndef LAYOUTDB_MODEL_WORKLOAD_H_
+#define LAYOUTDB_MODEL_WORKLOAD_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ldb {
+
+/// Rome-style statistical description of one database object's I/O workload
+/// (paper Figure 5). These are the W_i inputs to the layout advisor.
+///
+/// All rates are requests/second, sizes are bytes, and `run_count` is the
+/// mean number of consecutive sequential requests between non-sequential
+/// jumps (1 = fully random). `overlap[k]` in [0,1] is the fraction of this
+/// workload's requests that are temporally correlated with requests of
+/// workload k (O_i[k] in the paper).
+///
+/// The diagonal entry `overlap[i]` extends the paper's model with
+/// *self-overlap*: the mean number of the object's own other requests in
+/// flight when a request is issued (>= 0, unbounded). Concurrent queries
+/// scanning the same table interfere with each other exactly like distinct
+/// objects do, but Eq. 2 sums only k != i; the target model adds this term
+/// to the contention factor.
+struct WorkloadDesc {
+  double read_rate = 0.0;    ///< λ^R_i
+  double write_rate = 0.0;   ///< λ^W_i
+  double read_size = 0.0;    ///< B^R_i (mean read request bytes)
+  double write_size = 0.0;   ///< B^W_i (mean write request bytes)
+  double run_count = 1.0;    ///< Q_i
+  std::vector<double> overlap;  ///< O_i[k], k over all N objects
+
+  /// Total request rate λ^R + λ^W (used by the initial-layout heuristic).
+  double total_rate() const { return read_rate + write_rate; }
+
+  /// Request-rate-weighted mean request size (the B_i of Figure 7).
+  double mean_size() const {
+    const double rate = total_rate();
+    if (rate <= 0.0) return 0.0;
+    return (read_rate * read_size + write_rate * write_size) / rate;
+  }
+};
+
+/// A workload set: one description per database object; `overlap` vectors
+/// all have size N.
+using WorkloadSet = std::vector<WorkloadDesc>;
+
+/// Returns true if `w` is internally consistent (non-negative rates/sizes,
+/// run_count >= 1, overlap vector of size `n` with off-diagonal entries in
+/// [0,1]). `self_index` identifies the diagonal (self-overlap) entry, which
+/// may exceed 1; pass SIZE_MAX when unknown to skip the upper-bound check.
+bool IsValidWorkload(const WorkloadDesc& w, size_t n,
+                     size_t self_index = static_cast<size_t>(-1));
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_MODEL_WORKLOAD_H_

@@ -1,0 +1,63 @@
+#ifndef LAYOUTDB_SOLVER_LAYOUT_NLP_H_
+#define LAYOUTDB_SOLVER_LAYOUT_NLP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "model/constraints.h"
+#include "model/layout.h"
+
+namespace ldb {
+
+/// The layout problem as seen by the NLP solver (paper Section 4):
+/// minimize max_j µ_j(L) over valid layouts L. The utilization function is
+/// a black box — exactly how the paper plugs its non-AMPL target models
+/// into MINOS as external functions.
+struct LayoutNlpProblem {
+  int num_objects = 0;
+  int num_targets = 0;
+  std::vector<int64_t> object_sizes;      ///< s_i, bytes
+  std::vector<int64_t> target_capacities; ///< c_j, bytes
+
+  /// µ_j under layout L. Must be defined for any L with entries in [0,1]
+  /// (rows need not sum exactly to 1 during finite differencing).
+  std::function<double(const Layout& layout, int j)> target_utilization;
+
+  /// Administrative constraints (paper Section 4): allowed-target
+  /// restrictions enter as a reduced feasible simplex per row; separation
+  /// constraints enter as annealed quadratic penalties.
+  PlacementConstraints constraints;
+};
+
+/// Tuning knobs of the projected-gradient layout solver.
+struct SolverOptions {
+  int max_iterations_per_round = 60;  ///< gradient steps per annealing round
+  int annealing_rounds = 6;           ///< smooth-max / penalty schedule length
+  double fd_step = 1e-4;              ///< central finite-difference step
+  double initial_step = 0.25;        ///< first trial step length
+  double armijo_c = 1e-4;            ///< sufficient-decrease coefficient
+  double backtrack = 0.5;            ///< step shrink factor
+  int max_backtracks = 25;
+  double tolerance = 1e-6;  ///< relative improvement deemed converged
+  int patience = 6;         ///< converged iterations before stopping a round
+  double smoothmax_t0 = 30.0;      ///< initial log-sum-exp temperature
+  double smoothmax_growth = 2.5;   ///< temperature multiplier per round
+  double penalty0 = 10.0;          ///< initial capacity-violation weight
+  double penalty_growth = 4.0;     ///< penalty multiplier per round
+};
+
+/// Outcome of one solver run.
+struct SolverResult {
+  Layout layout;            ///< optimized (generally non-regular) layout
+  double max_utilization;   ///< true max_j µ_j of `layout`
+  int iterations = 0;       ///< gradient steps taken
+  int objective_evaluations = 0;  ///< µ_j evaluations (column recomputes)
+  bool feasible = false;    ///< capacity constraints satisfied
+
+  SolverResult() : layout(1, 1), max_utilization(0) {}
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_SOLVER_LAYOUT_NLP_H_

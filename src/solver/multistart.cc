@@ -1,0 +1,65 @@
+#include "solver/multistart.h"
+
+#include "solver/simplex.h"
+#include "util/check.h"
+
+namespace ldb {
+
+MultiStartSolver::MultiStartSolver(SolverOptions options)
+    : solver_(options) {}
+
+Result<SolverResult> MultiStartSolver::Solve(
+    const LayoutNlpProblem& problem,
+    const std::vector<Layout>& initials) const {
+  if (initials.empty()) {
+    return Status::InvalidArgument("at least one initial layout required");
+  }
+  bool have_best = false;
+  SolverResult best;
+  for (const Layout& seed : initials) {
+    auto run = solver_.Solve(problem, seed);
+    if (!run.ok()) return run.status();
+    SolverResult r = std::move(run).value();
+    const bool better =
+        !have_best ||
+        (r.feasible && !best.feasible) ||
+        (r.feasible == best.feasible &&
+         r.max_utilization < best.max_utilization);
+    if (better) {
+      // Accumulate effort counters across starts before overwriting.
+      r.iterations += have_best ? best.iterations : 0;
+      r.objective_evaluations +=
+          have_best ? best.objective_evaluations : 0;
+      best = std::move(r);
+      have_best = true;
+    } else {
+      best.iterations += r.iterations;
+      best.objective_evaluations += r.objective_evaluations;
+    }
+  }
+  return best;
+}
+
+std::vector<Layout> MultiStartSolver::RandomSeeds(
+    const LayoutNlpProblem& problem, int count, Rng* rng) {
+  LDB_CHECK(rng != nullptr);
+  LDB_CHECK_GT(count, 0);
+  std::vector<Layout> seeds;
+  seeds.reserve(static_cast<size_t>(count));
+  for (int s = 0; s < count; ++s) {
+    Layout l(problem.num_objects, problem.num_targets);
+    for (int i = 0; i < problem.num_objects; ++i) {
+      double* row = l.Row(i);
+      // Sparse random rows: most mass on a couple of targets.
+      for (int j = 0; j < problem.num_targets; ++j) {
+        const double u = rng->Uniform();
+        row[j] = u * u * u;
+      }
+      ProjectToSimplex(row, static_cast<size_t>(problem.num_targets));
+    }
+    seeds.push_back(std::move(l));
+  }
+  return seeds;
+}
+
+}  // namespace ldb

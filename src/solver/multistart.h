@@ -1,0 +1,37 @@
+#ifndef LAYOUTDB_SOLVER_MULTISTART_H_
+#define LAYOUTDB_SOLVER_MULTISTART_H_
+
+#include <vector>
+
+#include "solver/projected_gradient.h"
+#include "util/random.h"
+
+namespace ldb {
+
+/// Multi-start driver (the "repeat?" loop of the paper's Figure 4): runs
+/// the local solver from several initial layouts and keeps the best
+/// feasible result. Initial layouts are a convenient channel for domain
+/// knowledge — a DBA's candidate layouts can simply be appended to the
+/// seed list.
+class MultiStartSolver {
+ public:
+  explicit MultiStartSolver(SolverOptions options = {});
+
+  /// Solves from every seed in `initials`; returns the result with the
+  /// lowest max-utilization, preferring feasible results over infeasible
+  /// ones. `initials` must be non-empty.
+  Result<SolverResult> Solve(const LayoutNlpProblem& problem,
+                             const std::vector<Layout>& initials) const;
+
+  /// Generates `count` random valid-integrity seeds (each object assigned
+  /// a random point on the simplex, biased toward sparse rows).
+  static std::vector<Layout> RandomSeeds(const LayoutNlpProblem& problem,
+                                         int count, Rng* rng);
+
+ private:
+  ProjectedGradientSolver solver_;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_SOLVER_MULTISTART_H_

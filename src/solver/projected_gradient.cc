@@ -1,0 +1,341 @@
+#include "solver/projected_gradient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "solver/simplex.h"
+#include "util/check.h"
+#include "util/table.h"
+
+namespace ldb {
+
+namespace {
+
+Status ValidateProblem(const LayoutNlpProblem& p, const Layout& initial) {
+  if (p.num_objects <= 0 || p.num_targets <= 0) {
+    return Status::InvalidArgument("problem dimensions must be positive");
+  }
+  if (p.object_sizes.size() != static_cast<size_t>(p.num_objects) ||
+      p.target_capacities.size() != static_cast<size_t>(p.num_targets)) {
+    return Status::InvalidArgument("sizes/capacities dimension mismatch");
+  }
+  for (int64_t s : p.object_sizes) {
+    if (s <= 0) return Status::InvalidArgument("object sizes must be > 0");
+  }
+  for (int64_t c : p.target_capacities) {
+    if (c <= 0) return Status::InvalidArgument("capacities must be > 0");
+  }
+  if (!p.target_utilization) {
+    return Status::InvalidArgument("target_utilization function required");
+  }
+  if (initial.num_objects() != p.num_objects ||
+      initial.num_targets() != p.num_targets) {
+    return Status::InvalidArgument("initial layout dimension mismatch");
+  }
+  return p.constraints.Validate(p.num_objects, p.num_targets);
+}
+
+/// Projects row `i` onto its feasible simplex: the full simplex when the
+/// object is unrestricted, else the sub-simplex spanned by its allowed
+/// targets (disallowed coordinates are zeroed).
+void ProjectRowConstrained(const LayoutNlpProblem& p, int i, double* row) {
+  const std::vector<int>& allowed = p.constraints.AllowedFor(i);
+  if (allowed.empty()) {
+    ProjectToSimplex(row, static_cast<size_t>(p.num_targets));
+    return;
+  }
+  std::vector<double> sub;
+  sub.reserve(allowed.size());
+  for (int j : allowed) sub.push_back(row[j]);
+  ProjectToSimplex(sub.data(), sub.size());
+  for (int j = 0; j < p.num_targets; ++j) row[j] = 0.0;
+  for (size_t k = 0; k < allowed.size(); ++k) {
+    row[allowed[k]] = sub[k];
+  }
+}
+
+/// Quadratic separation penalty: sum over constrained pairs of the
+/// pairwise co-location mass Σ_j L_aj * L_bj.
+double SeparationPenalty(const LayoutNlpProblem& p, const Layout& layout) {
+  double total = 0.0;
+  for (const auto& [a, b] : p.constraints.separate) {
+    for (int j = 0; j < p.num_targets; ++j) {
+      total += layout.At(a, j) * layout.At(b, j);
+    }
+  }
+  return total;
+}
+
+/// Working evaluation state for one candidate layout: cached per-target
+/// utilizations and assigned bytes, and the composite objective.
+class Evaluator {
+ public:
+  Evaluator(const LayoutNlpProblem& p, int* eval_counter)
+      : p_(p), eval_counter_(eval_counter) {}
+
+  /// Fully (re)computes caches for `layout`.
+  void Refresh(const Layout& layout) {
+    const int m = p_.num_targets;
+    mu_.resize(static_cast<size_t>(m));
+    bytes_.assign(static_cast<size_t>(m), 0.0);
+    for (int j = 0; j < m; ++j) {
+      mu_[static_cast<size_t>(j)] = p_.target_utilization(layout, j);
+      ++*eval_counter_;
+    }
+    for (int i = 0; i < p_.num_objects; ++i) {
+      const double s =
+          static_cast<double>(p_.object_sizes[static_cast<size_t>(i)]);
+      for (int j = 0; j < m; ++j) {
+        bytes_[static_cast<size_t>(j)] += layout.At(i, j) * s;
+      }
+    }
+    separation_ = SeparationPenalty(p_, layout);
+  }
+
+  /// Composite objective from the current caches.
+  double Objective(double temp, double penalty) const {
+    return SmoothMax(mu_.data(), mu_.size(), temp) +
+           penalty * (PenaltyFromBytes(bytes_) + separation_);
+  }
+
+  /// Composite objective with column j's cache entries replaced — the cheap
+  /// evaluation used by coordinate finite differences. `layout` must hold
+  /// the perturbed values (needed for the separation penalty).
+  double ObjectiveWithColumn(const Layout& layout, int j, double mu_j,
+                             double bytes_j, double temp,
+                             double penalty) const {
+    std::vector<double> mu = mu_;
+    mu[static_cast<size_t>(j)] = mu_j;
+    std::vector<double> bytes = bytes_;
+    bytes[static_cast<size_t>(j)] = bytes_j;
+    const double sep = p_.constraints.separate.empty()
+                           ? 0.0
+                           : SeparationPenalty(p_, layout);
+    return SmoothMax(mu.data(), mu.size(), temp) +
+           penalty * (PenaltyFromBytes(bytes) + sep);
+  }
+
+  double PenaltyFromBytes(const std::vector<double>& bytes) const {
+    double total = 0.0;
+    for (int j = 0; j < p_.num_targets; ++j) {
+      const double cap =
+          static_cast<double>(p_.target_capacities[static_cast<size_t>(j)]);
+      const double over = (bytes[static_cast<size_t>(j)] - cap) / cap;
+      if (over > 0.0) total += over * over;
+    }
+    return total;
+  }
+
+  double TrueMax() const { return *std::max_element(mu_.begin(), mu_.end()); }
+  const std::vector<double>& mu() const { return mu_; }
+  double bytes(int j) const { return bytes_[static_cast<size_t>(j)]; }
+
+ private:
+  const LayoutNlpProblem& p_;
+  int* eval_counter_;
+  std::vector<double> mu_;
+  std::vector<double> bytes_;
+  double separation_ = 0.0;
+};
+
+/// Greedy feasibility repair: shifts fractions of objects off over-full
+/// targets onto targets with free bytes. Used when the penalty method
+/// leaves a small residual violation.
+void RepairCapacity(const LayoutNlpProblem& p, Layout* layout) {
+  const int n = p.num_objects;
+  const int m = p.num_targets;
+  for (int pass = 0; pass < 4 * m; ++pass) {
+    std::vector<double> bytes(static_cast<size_t>(m), 0.0);
+    for (int i = 0; i < n; ++i) {
+      const double s =
+          static_cast<double>(p.object_sizes[static_cast<size_t>(i)]);
+      for (int j = 0; j < m; ++j) {
+        bytes[static_cast<size_t>(j)] += layout->At(i, j) * s;
+      }
+    }
+    // Most over-full target.
+    int worst = -1;
+    double worst_over = 0.0;
+    for (int j = 0; j < m; ++j) {
+      const double over =
+          bytes[static_cast<size_t>(j)] -
+          static_cast<double>(p.target_capacities[static_cast<size_t>(j)]);
+      if (over > worst_over) {
+        worst_over = over;
+        worst = j;
+      }
+    }
+    if (worst < 0) return;  // feasible
+
+    // Donor object and receiver target: the donor with the largest byte
+    // footprint on the over-full target that has an allowed target with
+    // free space to move to.
+    int donor = -1;
+    int dest = -1;
+    double donor_bytes = 0.0;
+    double best_free = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double b =
+          layout->At(i, worst) *
+          static_cast<double>(p.object_sizes[static_cast<size_t>(i)]);
+      if (b <= donor_bytes) continue;
+      const std::vector<int>& allowed = p.constraints.AllowedFor(i);
+      int candidate_dest = -1;
+      double candidate_free = 0.0;
+      for (int j = 0; j < m; ++j) {
+        if (j == worst) continue;
+        if (!allowed.empty() &&
+            std::find(allowed.begin(), allowed.end(), j) == allowed.end()) {
+          continue;
+        }
+        const double free = static_cast<double>(
+                                p.target_capacities[static_cast<size_t>(j)]) -
+                            bytes[static_cast<size_t>(j)];
+        if (free > candidate_free) {
+          candidate_free = free;
+          candidate_dest = j;
+        }
+      }
+      if (candidate_dest < 0) continue;
+      donor = i;
+      donor_bytes = b;
+      dest = candidate_dest;
+      best_free = candidate_free;
+    }
+    if (donor < 0 || dest < 0) return;  // nowhere to move (caller sees flag)
+    const double si =
+        static_cast<double>(p.object_sizes[static_cast<size_t>(donor)]);
+    // Overshoot slightly: per-entry byte accounting rounds up, so landing
+    // exactly on the capacity boundary would still register as a violation.
+    const double margin = static_cast<double>(n + 1);
+    const double move_bytes =
+        std::min({worst_over + margin, best_free, donor_bytes});
+    const double delta = move_bytes / si;
+    layout->Set(donor, worst, layout->At(donor, worst) - delta);
+    layout->Set(donor, dest, layout->At(donor, dest) + delta);
+  }
+}
+
+}  // namespace
+
+ProjectedGradientSolver::ProjectedGradientSolver(SolverOptions options)
+    : options_(options) {}
+
+Result<SolverResult> ProjectedGradientSolver::Solve(
+    const LayoutNlpProblem& problem, const Layout& initial) const {
+  LDB_RETURN_IF_ERROR(ValidateProblem(problem, initial));
+  const int n = problem.num_objects;
+  const int m = problem.num_targets;
+
+  SolverResult result;
+  result.layout = initial;
+  // Project the seed onto the feasible (integrity + allowed-target) set.
+  for (int i = 0; i < n; ++i) {
+    ProjectRowConstrained(problem, i, result.layout.Row(i));
+  }
+
+  Evaluator eval(problem, &result.objective_evaluations);
+  eval.Refresh(result.layout);
+
+  Layout& x = result.layout;
+  std::vector<double> grad(static_cast<size_t>(n) * static_cast<size_t>(m));
+  double step = options_.initial_step;
+
+  double temp = options_.smoothmax_t0;
+  double penalty = options_.penalty0;
+  for (int round = 0; round < options_.annealing_rounds; ++round) {
+    double f = eval.Objective(temp, penalty);
+    int stall = 0;
+    for (int iter = 0; iter < options_.max_iterations_per_round; ++iter) {
+      ++result.iterations;
+
+      // Central finite differences, one column re-evaluation per coordinate.
+      const double h = options_.fd_step;
+      double grad_norm2 = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const double si =
+            static_cast<double>(problem.object_sizes[static_cast<size_t>(i)]);
+        for (int j = 0; j < m; ++j) {
+          const double v = x.At(i, j);
+          const double lo = std::max(0.0, v - h);
+          const double hi = std::min(1.0, v + h);
+          if (hi - lo < 1e-12) {
+            grad[static_cast<size_t>(i) * static_cast<size_t>(m) +
+                 static_cast<size_t>(j)] = 0.0;
+            continue;
+          }
+          x.Set(i, j, hi);
+          const double mu_hi = problem.target_utilization(x, j);
+          const double f_hi = eval.ObjectiveWithColumn(
+              x, j, mu_hi, eval.bytes(j) + (hi - v) * si, temp, penalty);
+          x.Set(i, j, lo);
+          const double mu_lo = problem.target_utilization(x, j);
+          const double f_lo = eval.ObjectiveWithColumn(
+              x, j, mu_lo, eval.bytes(j) + (lo - v) * si, temp, penalty);
+          x.Set(i, j, v);
+          result.objective_evaluations += 2;
+          const double g = (f_hi - f_lo) / (hi - lo);
+          grad[static_cast<size_t>(i) * static_cast<size_t>(m) +
+               static_cast<size_t>(j)] = g;
+          grad_norm2 += g * g;
+        }
+      }
+      if (grad_norm2 < 1e-18) break;
+
+      // Backtracking projected-gradient step.
+      Layout best = x;
+      double f_best = f;
+      bool accepted = false;
+      double alpha = step;
+      for (int bt = 0; bt < options_.max_backtracks; ++bt) {
+        Layout trial = x;
+        for (int i = 0; i < n; ++i) {
+          double* row = trial.Row(i);
+          const double* grow =
+              &grad[static_cast<size_t>(i) * static_cast<size_t>(m)];
+          for (int j = 0; j < m; ++j) row[j] -= alpha * grow[j];
+          ProjectRowConstrained(problem, i, row);
+        }
+        Evaluator trial_eval(problem, &result.objective_evaluations);
+        trial_eval.Refresh(trial);
+        const double f_trial = trial_eval.Objective(temp, penalty);
+        if (f_trial < f - options_.armijo_c * alpha * grad_norm2) {
+          best = trial;
+          f_best = f_trial;
+          accepted = true;
+          break;
+        }
+        alpha *= options_.backtrack;
+      }
+      if (!accepted) break;  // no descent direction at this temperature
+
+      const double improvement = (f - f_best) / std::max(1e-12, std::fabs(f));
+      x = best;
+      eval.Refresh(x);
+      f = eval.Objective(temp, penalty);
+      step = std::min(options_.initial_step, alpha * 2.0);
+      if (improvement < options_.tolerance) {
+        if (++stall >= options_.patience) break;
+      } else {
+        stall = 0;
+      }
+    }
+    temp *= options_.smoothmax_growth;
+    penalty *= options_.penalty_growth;
+  }
+
+  // Penalty methods can leave a small capacity violation; repair greedily.
+  if (!x.SatisfiesCapacity(problem.object_sizes, problem.target_capacities)) {
+    RepairCapacity(problem, &x);
+    eval.Refresh(x);
+  }
+
+  result.feasible =
+      x.IsValid(problem.object_sizes, problem.target_capacities, 1e-6) &&
+      problem.constraints.SatisfiedBy(x, /*tol=*/1e-3);
+  result.max_utilization = eval.TrueMax();
+  return result;
+}
+
+}  // namespace ldb

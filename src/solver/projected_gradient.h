@@ -1,0 +1,44 @@
+#ifndef LAYOUTDB_SOLVER_PROJECTED_GRADIENT_H_
+#define LAYOUTDB_SOLVER_PROJECTED_GRADIENT_H_
+
+#include "solver/layout_nlp.h"
+#include "util/status.h"
+
+namespace ldb {
+
+/// Generic local NLP solver for the layout problem, playing the role MINOS
+/// plays in the paper: given an initial valid layout, locally minimize the
+/// (non-convex) max-utilization objective subject to the integrity and
+/// capacity constraints.
+///
+/// Method:
+///  * the non-smooth max_j µ_j is replaced by a log-sum-exp smooth max
+///    whose temperature is annealed upward across rounds;
+///  * capacity constraints enter as a quadratic penalty whose weight is
+///    annealed upward in lock-step;
+///  * each iteration takes a projected-gradient step: central finite
+///    differences over the black-box µ_j (perturbing L_ij only requires
+///    re-evaluating target j — the structure exploited for speed), a
+///    backtracking Armijo line search, and per-row Euclidean projection
+///    back onto the unit simplex;
+///  * like MINOS, the result is a locally optimal, generally non-regular
+///    layout that depends on the initial point.
+class ProjectedGradientSolver {
+ public:
+  explicit ProjectedGradientSolver(SolverOptions options = {});
+
+  /// Runs the solver from `initial` (rows are projected onto the simplex
+  /// first, so any non-negative seed is acceptable).
+  ///
+  /// \returns InvalidArgument for malformed problems (dimension mismatches,
+  ///   missing utilization function, non-positive sizes/capacities).
+  Result<SolverResult> Solve(const LayoutNlpProblem& problem,
+                             const Layout& initial) const;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_SOLVER_PROJECTED_GRADIENT_H_

@@ -1,0 +1,47 @@
+#ifndef LAYOUTDB_STORAGE_DEVICE_H_
+#define LAYOUTDB_STORAGE_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/io_request.h"
+
+namespace ldb {
+
+/// Service-time model of a single storage device (disk or SSD).
+///
+/// A device is a stateful black box: ServiceTime() is called once per
+/// request at dispatch time, returns how long the device is busy with the
+/// request, and updates internal state (head position, tracked sequential
+/// streams). Devices do not queue; queueing and scheduling live in
+/// StorageTarget.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Returns the busy time for `req` and advances device state.
+  virtual double ServiceTime(const DeviceRequest& req) = 0;
+
+  /// Estimated positioning cost of `req` if dispatched now, without state
+  /// change. Schedulers use this to order queued requests.
+  virtual double PositioningEstimate(const DeviceRequest& req) const = 0;
+
+  /// Device capacity in bytes.
+  virtual int64_t capacity_bytes() const = 0;
+
+  /// Restores the device to its initial (post-construction) state.
+  virtual void Reset() = 0;
+
+  /// Creates an identical device in its initial state.
+  virtual std::unique_ptr<BlockDevice> Clone() const = 0;
+
+  /// Short model name, e.g. "disk-15k" or "ssd". Used as the key for
+  /// calibrated cost models: devices with equal model names must have equal
+  /// performance parameters.
+  virtual const std::string& model_name() const = 0;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_STORAGE_DEVICE_H_

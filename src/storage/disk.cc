@@ -1,0 +1,136 @@
+#include "storage/disk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ldb {
+
+DiskParams Scsi15kParams() { return DiskParams{}; }
+
+DiskParams Nearline7200Params() {
+  DiskParams p;
+  p.model_name = "disk-7200";
+  p.capacity_bytes = 250 * kGiB;
+  p.rpm = 7200;
+  p.min_seek_s = 0.0006;
+  p.max_seek_s = 0.013;
+  p.transfer_mbps = 85.0;
+  return p;
+}
+
+DiskModel::DiskModel(DiskParams params) : params_(std::move(params)) {
+  LDB_CHECK_GT(params_.capacity_bytes, 0);
+  LDB_CHECK_GT(params_.rpm, 0.0);
+  LDB_CHECK_GT(params_.transfer_mbps, 0.0);
+  LDB_CHECK_GE(params_.readahead_streams, 0);
+  LDB_CHECK_GE(params_.max_seek_s, params_.min_seek_s);
+  full_rotation_s_ = 60.0 / params_.rpm;
+  bytes_per_second_ = params_.transfer_mbps * static_cast<double>(kMiB);
+}
+
+double DiskModel::SeekTime(int64_t distance) const {
+  if (distance == 0) return 0.0;
+  const double frac = static_cast<double>(distance) /
+                      static_cast<double>(params_.capacity_bytes);
+  // Concave seek curve: short seeks are dominated by settle time, long
+  // seeks by the (roughly) constant-acceleration sweep.
+  return params_.min_seek_s +
+         (params_.max_seek_s - params_.min_seek_s) *
+             std::sqrt(std::min(1.0, frac));
+}
+
+const DiskModel::Stream* DiskModel::MatchStream(
+    const DeviceRequest& req) const {
+  for (const Stream& s : streams_) {
+    const int64_t gap = req.offset - s.next_offset;
+    if (gap >= 0 && gap <= params_.sequential_slack_bytes) return &s;
+  }
+  return nullptr;
+}
+
+DiskModel::Stream* DiskModel::MatchStream(const DeviceRequest& req) {
+  return const_cast<Stream*>(
+      static_cast<const DiskModel*>(this)->MatchStream(req));
+}
+
+double DiskModel::PositioningEstimate(const DeviceRequest& req) const {
+  double positioning;
+  if (MatchStream(req) != nullptr) {
+    // Continuation: free if the head is (nearly) there already, else the
+    // stream-switch cost.
+    const bool head_in_place =
+        req.offset >= head_ &&
+        req.offset - head_ <= params_.sequential_slack_bytes;
+    positioning = head_in_place ? 0.0 : params_.stream_switch_penalty_s;
+  } else {
+    positioning =
+        SeekTime(std::llabs(req.offset - head_)) + full_rotation_s_ / 2.0;
+  }
+  return req.is_write ? positioning * params_.write_positioning_factor
+                      : positioning;
+}
+
+double DiskModel::ServiceTime(const DeviceRequest& req) {
+  LDB_CHECK_GE(req.offset, 0);
+  LDB_CHECK_GT(req.size, 0);
+  double cost = params_.per_request_overhead_s;
+
+  Stream* hit = MatchStream(req);
+  if (hit != nullptr) {
+    // Sequential continuation. Free only when the head is still at this
+    // stream; if another request was served in between, the head must
+    // reposition (partially hidden by the prefetch cache).
+    const bool head_in_place =
+        req.offset >= head_ &&
+        req.offset - head_ <= params_.sequential_slack_bytes;
+    if (!head_in_place) {
+      const double switch_cost =
+          req.is_write
+              ? params_.stream_switch_penalty_s *
+                    params_.write_positioning_factor
+              : params_.stream_switch_penalty_s;
+      cost += switch_cost;
+    }
+    hit->next_offset = req.offset + req.size;
+    hit->last_use = ++use_counter_;
+  } else {
+    double positioning =
+        SeekTime(std::llabs(req.offset - head_)) + full_rotation_s_ / 2.0;
+    if (req.is_write) positioning *= params_.write_positioning_factor;
+    cost += positioning;
+    // Start tracking this as a new potential stream, evicting the LRU slot
+    // if the drive is already tracking its maximum.
+    if (params_.readahead_streams > 0) {
+      if (static_cast<int>(streams_.size()) < params_.readahead_streams) {
+        streams_.push_back(
+            Stream{req.offset + req.size, ++use_counter_});
+      } else {
+        auto lru = std::min_element(
+            streams_.begin(), streams_.end(),
+            [](const Stream& a, const Stream& b) {
+              return a.last_use < b.last_use;
+            });
+        lru->next_offset = req.offset + req.size;
+        lru->last_use = ++use_counter_;
+      }
+    }
+  }
+
+  cost += static_cast<double>(req.size) / bytes_per_second_;
+  head_ = req.offset + req.size;
+  return cost;
+}
+
+void DiskModel::Reset() {
+  head_ = 0;
+  use_counter_ = 0;
+  streams_.clear();
+}
+
+std::unique_ptr<BlockDevice> DiskModel::Clone() const {
+  return std::make_unique<DiskModel>(params_);
+}
+
+}  // namespace ldb

@@ -1,0 +1,45 @@
+#include "storage/event_queue.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ldb {
+
+void EventQueue::ScheduleAt(double when, Callback cb) {
+  LDB_CHECK_GE(when, now_);
+  events_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::ScheduleAfter(double delay, Callback cb) {
+  LDB_CHECK_GE(delay, 0.0);
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+double EventQueue::RunUntilIdle() {
+  while (!events_.empty()) {
+    // The callback may schedule more events, so pop before invoking.
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.when;
+    ++events_executed_;
+    ev.cb();
+  }
+  return now_;
+}
+
+double EventQueue::RunUntil(double deadline) {
+  while (!events_.empty() && events_.top().when <= deadline) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.when;
+    ++events_executed_;
+    ev.cb();
+  }
+  if (now_ < deadline && events_.empty()) {
+    // Idle before the deadline: clock stays at the last event.
+  }
+  return now_;
+}
+
+}  // namespace ldb

@@ -1,0 +1,66 @@
+#ifndef LAYOUTDB_STORAGE_EVENT_QUEUE_H_
+#define LAYOUTDB_STORAGE_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ldb {
+
+/// Discrete-event simulation core: a clock and a time-ordered callback queue.
+///
+/// Events scheduled at equal times fire in scheduling order (a monotone
+/// sequence number breaks ties), which keeps simulations deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Current simulation time in seconds.
+  double Now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `when` (must be >= Now()).
+  void ScheduleAt(double when, Callback cb);
+
+  /// Schedules `cb` to run `delay` seconds from now (delay >= 0).
+  void ScheduleAfter(double delay, Callback cb);
+
+  /// Runs events until the queue is empty. Returns the final clock value.
+  double RunUntilIdle();
+
+  /// Runs events with time <= `deadline`; the clock ends at
+  /// min(deadline, time of last event). Returns the final clock value.
+  double RunUntil(double deadline);
+
+  /// True if no events are pending.
+  bool Empty() const { return events_.empty(); }
+
+  /// Number of events executed so far (for simulator throughput metrics).
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    double when;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_STORAGE_EVENT_QUEUE_H_

@@ -1,0 +1,53 @@
+#ifndef LAYOUTDB_STORAGE_IO_REQUEST_H_
+#define LAYOUTDB_STORAGE_IO_REQUEST_H_
+
+#include <cstdint>
+
+namespace ldb {
+
+/// Identifies the database object a request belongs to. Object ids are dense
+/// indexes assigned by the catalog.
+using ObjectId = int32_t;
+inline constexpr ObjectId kNoObject = -1;
+
+/// A block request addressed to a single device (LBA space of that device).
+struct DeviceRequest {
+  int64_t offset = 0;     ///< byte offset within the device
+  int64_t size = 0;       ///< bytes transferred
+  bool is_write = false;  ///< write vs. read
+};
+
+/// A block request addressed to a storage target (LBA space of the target;
+/// targets stripe over one or more member devices).
+struct TargetRequest {
+  int64_t offset = 0;
+  int64_t size = 0;
+  bool is_write = false;
+  ObjectId object = kNoObject;  ///< originating database object, for tracing
+  /// Object-relative byte offset of this request (pre-layout address).
+  /// Carried through for trace analysis: sequentiality is a property of the
+  /// object's logical access pattern, not of the on-target placement.
+  int64_t logical_offset = 0;
+};
+
+/// An I/O event observed at a storage target, as recorded by trace
+/// collectors: one record per target request with its submit/completion
+/// timestamps.
+struct IoEvent {
+  double submit_time = 0.0;
+  double complete_time = 0.0;
+  /// Monotone submission sequence number: trace consumers sort on
+  /// (submit_time, seq) to recover exact issue order even when discrete
+  /// simulation produces identical timestamps.
+  uint64_t seq = 0;
+  int32_t target = 0;
+  ObjectId object = kNoObject;
+  int64_t offset = 0;          ///< target-relative byte offset
+  int64_t logical_offset = 0;  ///< object-relative byte offset
+  int64_t size = 0;
+  bool is_write = false;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_STORAGE_IO_REQUEST_H_

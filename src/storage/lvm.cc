@@ -1,0 +1,112 @@
+#include "storage/lvm.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace ldb {
+
+Result<StripedVolumeManager> StripedVolumeManager::Create(
+    std::vector<int64_t> object_sizes,
+    std::vector<std::vector<int>> placements,
+    const std::vector<int64_t>& target_capacities, int64_t stripe_bytes) {
+  if (object_sizes.size() != placements.size()) {
+    return Status::InvalidArgument("object_sizes/placements size mismatch");
+  }
+  if (stripe_bytes <= 0) {
+    return Status::InvalidArgument("stripe size must be positive");
+  }
+  StripedVolumeManager mgr;
+  mgr.object_sizes_ = std::move(object_sizes);
+  mgr.placements_ = std::move(placements);
+  mgr.stripe_bytes_ = stripe_bytes;
+  mgr.allocated_.assign(target_capacities.size(), 0);
+  mgr.extent_base_.resize(mgr.placements_.size());
+
+  const int m = static_cast<int>(target_capacities.size());
+  for (size_t i = 0; i < mgr.placements_.size(); ++i) {
+    const auto& targets = mgr.placements_[i];
+    if (targets.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("object %zu has no targets", i));
+    }
+    std::vector<int> sorted = targets;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return Status::InvalidArgument(
+          StrFormat("object %zu lists a target twice", i));
+    }
+    if (sorted.front() < 0 || sorted.back() >= m) {
+      return Status::InvalidArgument(
+          StrFormat("object %zu references an unknown target", i));
+    }
+    if (mgr.object_sizes_[i] <= 0) {
+      return Status::InvalidArgument(
+          StrFormat("object %zu has non-positive size", i));
+    }
+
+    const int64_t n = static_cast<int64_t>(targets.size());
+    const int64_t total_stripes =
+        (mgr.object_sizes_[i] + stripe_bytes - 1) / stripe_bytes;
+    mgr.extent_base_[i].resize(targets.size());
+    for (int64_t slot = 0; slot < n; ++slot) {
+      // Stripes with (stripe_index % n) == slot land on this target.
+      const int64_t count =
+          total_stripes > slot ? (total_stripes - 1 - slot) / n + 1 : 0;
+      const int64_t extent = count * stripe_bytes;
+      const int j = targets[static_cast<size_t>(slot)];
+      mgr.extent_base_[i][static_cast<size_t>(slot)] =
+          mgr.allocated_[static_cast<size_t>(j)];
+      mgr.allocated_[static_cast<size_t>(j)] += extent;
+    }
+  }
+
+  for (int j = 0; j < m; ++j) {
+    if (mgr.allocated_[static_cast<size_t>(j)] >
+        target_capacities[static_cast<size_t>(j)]) {
+      return Status::CapacityExceeded(StrFormat(
+          "target %d: need %lld bytes, capacity %lld", j,
+          static_cast<long long>(mgr.allocated_[static_cast<size_t>(j)]),
+          static_cast<long long>(target_capacities[static_cast<size_t>(j)])));
+    }
+  }
+  return mgr;
+}
+
+void StripedVolumeManager::Map(ObjectId object, int64_t offset, int64_t size,
+                               std::vector<TargetChunk>* out) const {
+  const size_t i = static_cast<size_t>(object);
+  LDB_CHECK_LT(i, object_sizes_.size());
+  LDB_CHECK_GE(offset, 0);
+  LDB_CHECK_GT(size, 0);
+  LDB_CHECK_LE(offset + size, object_sizes_[i]);
+
+  const auto& targets = placements_[i];
+  const int64_t n = static_cast<int64_t>(targets.size());
+  int64_t off = offset;
+  int64_t remaining = size;
+  while (remaining > 0) {
+    const int64_t stripe_index = off / stripe_bytes_;
+    const int64_t within = off % stripe_bytes_;
+    const int64_t chunk = std::min(remaining, stripe_bytes_ - within);
+    const int64_t slot = stripe_index % n;
+    const int64_t seq = stripe_index / n;  // stripe ordinal on that target
+    const int target = targets[static_cast<size_t>(slot)];
+    const int64_t target_off =
+        extent_base_[i][static_cast<size_t>(slot)] + seq * stripe_bytes_ +
+        within;
+    // Coalesce with the previous chunk when contiguous on the same target
+    // (always the case for single-target objects).
+    if (!out->empty() && out->back().target == target &&
+        out->back().offset + out->back().size == target_off) {
+      out->back().size += chunk;
+    } else {
+      out->push_back(TargetChunk{target, target_off, chunk});
+    }
+    off += chunk;
+    remaining -= chunk;
+  }
+}
+
+}  // namespace ldb

@@ -1,0 +1,82 @@
+#ifndef LAYOUTDB_STORAGE_LVM_H_
+#define LAYOUTDB_STORAGE_LVM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/io_request.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace ldb {
+
+/// A chunk of a logical request mapped onto one target.
+struct TargetChunk {
+  int target = 0;
+  int64_t offset = 0;  ///< target-relative byte offset
+  int64_t size = 0;
+};
+
+/// Striped logical-volume manager, the layout-implementation mechanism used
+/// in the paper's experiments (Section 5.2.1): each database object is a
+/// logical volume divided into fixed-size stripes distributed round-robin
+/// over the object's assigned targets.
+///
+/// Only *regular* layouts (equal fraction on each used target, paper Def. 2)
+/// are implementable this way; the advisor's regularization step exists
+/// precisely to produce such layouts.
+class StripedVolumeManager {
+ public:
+  /// Builds volumes for all objects and allocates contiguous per-target
+  /// extents.
+  ///
+  /// \param object_sizes size in bytes of each object, indexed by ObjectId.
+  /// \param placements for each object, the (non-empty, duplicate-free) list
+  ///   of target indexes it is striped across.
+  /// \param target_capacities capacity of each target in bytes.
+  /// \param stripe_bytes LVM stripe size.
+  /// \returns CapacityExceeded if any target's extents exceed its capacity.
+  static Result<StripedVolumeManager> Create(
+      std::vector<int64_t> object_sizes,
+      std::vector<std::vector<int>> placements,
+      const std::vector<int64_t>& target_capacities,
+      int64_t stripe_bytes = kMiB);
+
+  /// Maps a logical (object-relative) byte range to target chunks, in
+  /// logical order. Requires 0 <= offset, offset + size <= object size.
+  void Map(ObjectId object, int64_t offset, int64_t size,
+           std::vector<TargetChunk>* out) const;
+
+  int64_t stripe_bytes() const { return stripe_bytes_; }
+  int num_objects() const { return static_cast<int>(object_sizes_.size()); }
+
+  /// Size of object `i` in bytes.
+  int64_t object_size(ObjectId i) const {
+    return object_sizes_[static_cast<size_t>(i)];
+  }
+
+  /// Targets object `i` is striped across.
+  const std::vector<int>& targets_of(ObjectId i) const {
+    return placements_[static_cast<size_t>(i)];
+  }
+
+  /// Bytes of target `j` consumed by allocated extents.
+  int64_t allocated_on(int j) const {
+    return allocated_[static_cast<size_t>(j)];
+  }
+
+ private:
+  StripedVolumeManager() = default;
+
+  std::vector<int64_t> object_sizes_;
+  std::vector<std::vector<int>> placements_;
+  int64_t stripe_bytes_ = kMiB;
+  /// extent_base_[i][k]: byte offset on placements_[i][k] of object i's
+  /// extent on that target.
+  std::vector<std::vector<int64_t>> extent_base_;
+  std::vector<int64_t> allocated_;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_STORAGE_LVM_H_

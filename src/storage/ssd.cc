@@ -1,0 +1,29 @@
+#include "storage/ssd.h"
+
+#include "util/check.h"
+
+namespace ldb {
+
+SsdModel::SsdModel(SsdParams params) : params_(std::move(params)) {
+  LDB_CHECK_GT(params_.capacity_bytes, 0);
+  LDB_CHECK_GT(params_.transfer_mbps, 0.0);
+  bytes_per_second_ = params_.transfer_mbps * static_cast<double>(kMiB);
+}
+
+double SsdModel::ServiceTime(const DeviceRequest& req) {
+  LDB_CHECK_GE(req.offset, 0);
+  LDB_CHECK_GT(req.size, 0);
+  const double latency =
+      req.is_write ? params_.write_latency_s : params_.read_latency_s;
+  return latency + static_cast<double>(req.size) / bytes_per_second_;
+}
+
+double SsdModel::PositioningEstimate(const DeviceRequest&) const {
+  return 0.0;
+}
+
+std::unique_ptr<BlockDevice> SsdModel::Clone() const {
+  return std::make_unique<SsdModel>(params_);
+}
+
+}  // namespace ldb

@@ -1,0 +1,48 @@
+#ifndef LAYOUTDB_STORAGE_SSD_H_
+#define LAYOUTDB_STORAGE_SSD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/device.h"
+#include "util/units.h"
+
+namespace ldb {
+
+/// Parameters of a flash SSD model (2008-era SATA SSD, as in the paper).
+struct SsdParams {
+  std::string model_name = "ssd";
+  int64_t capacity_bytes = 32 * kGiB;
+  double read_latency_s = 1.0e-4;   ///< per-request flash read latency
+  double write_latency_s = 2.5e-4;  ///< per-request program latency
+  double transfer_mbps = 220.0;     ///< interface/media transfer rate, MiB/s
+};
+
+/// Flash SSD: no mechanical positioning, so random and sequential requests
+/// cost the same and interference between streams carries no positioning
+/// penalty. This is the heterogeneity the advisor exploits in the paper's
+/// SSD experiments (Fig. 18).
+class SsdModel final : public BlockDevice {
+ public:
+  explicit SsdModel(SsdParams params);
+
+  double ServiceTime(const DeviceRequest& req) override;
+  double PositioningEstimate(const DeviceRequest& req) const override;
+  int64_t capacity_bytes() const override { return params_.capacity_bytes; }
+  void Reset() override {}
+  std::unique_ptr<BlockDevice> Clone() const override;
+  const std::string& model_name() const override {
+    return params_.model_name;
+  }
+
+  const SsdParams& params() const { return params_; }
+
+ private:
+  SsdParams params_;
+  double bytes_per_second_;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_STORAGE_SSD_H_

@@ -1,0 +1,67 @@
+#include "storage/storage_system.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ldb {
+
+StorageSystem::StorageSystem(const std::vector<TargetSpec>& specs) {
+  LDB_CHECK(!specs.empty());
+  targets_.reserve(specs.size());
+  for (const TargetSpec& spec : specs) {
+    LDB_CHECK(spec.prototype != nullptr);
+    LDB_CHECK_GT(spec.num_members, 0);
+    std::vector<std::unique_ptr<BlockDevice>> members;
+    members.reserve(static_cast<size_t>(spec.num_members));
+    for (int i = 0; i < spec.num_members; ++i) {
+      members.push_back(spec.prototype->Clone());
+    }
+    targets_.push_back(std::make_unique<StorageTarget>(
+        spec.name, std::move(members), spec.stripe_bytes, &queue_,
+        spec.scheduler_max_wait_s, spec.raid_level));
+  }
+}
+
+void StorageSystem::Submit(int j, const TargetRequest& req,
+                           StorageTarget::Completion done) {
+  LDB_CHECK_GE(j, 0);
+  LDB_CHECK_LT(j, num_targets());
+  const double submit_time = queue_.Now();
+  if (observer_) {
+    const uint64_t seq = next_seq_++;
+    targets_[static_cast<size_t>(j)]->Submit(
+        req, [this, j, req, submit_time, seq,
+              done = std::move(done)](double complete_time) {
+          IoEvent ev;
+          ev.submit_time = submit_time;
+          ev.seq = seq;
+          ev.complete_time = complete_time;
+          ev.target = j;
+          ev.object = req.object;
+          ev.offset = req.offset;
+          ev.logical_offset = req.logical_offset;
+          ev.size = req.size;
+          ev.is_write = req.is_write;
+          observer_(ev);
+          if (done) done(complete_time);
+        });
+  } else {
+    targets_[static_cast<size_t>(j)]->Submit(req, std::move(done));
+  }
+}
+
+std::vector<int64_t> StorageSystem::capacities() const {
+  std::vector<int64_t> caps;
+  caps.reserve(targets_.size());
+  for (const auto& t : targets_) caps.push_back(t->capacity_bytes());
+  return caps;
+}
+
+double StorageSystem::MeasuredUtilization(int j, double elapsed) const {
+  LDB_CHECK_GT(elapsed, 0.0);
+  const StorageTarget& t = *targets_[static_cast<size_t>(j)];
+  return t.busy_time() / (elapsed * t.num_members());
+}
+
+}  // namespace ldb

@@ -1,0 +1,73 @@
+#ifndef LAYOUTDB_STORAGE_STORAGE_SYSTEM_H_
+#define LAYOUTDB_STORAGE_STORAGE_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/event_queue.h"
+#include "storage/io_request.h"
+#include "storage/target.h"
+
+namespace ldb {
+
+/// Describes a storage target to be built: a device prototype plus how many
+/// copies of it are striped together.
+struct TargetSpec {
+  std::string name;
+  const BlockDevice* prototype = nullptr;  ///< cloned per member
+  int num_members = 1;
+  int64_t stripe_bytes = 64 * kKiB;  ///< RAID chunk size
+  double scheduler_max_wait_s = 0.060;  ///< scheduler starvation bound
+  RaidLevel raid_level = RaidLevel::kRaid0;
+};
+
+/// The simulated storage system: an event queue plus M independent targets.
+///
+/// This is the substrate the paper's evaluation ran on real hardware; here
+/// every target is a simulated device group. Workload runners submit
+/// target-addressed requests; an optional observer sees every completed
+/// request (used by the trace collector).
+class StorageSystem {
+ public:
+  using Observer = std::function<void(const IoEvent&)>;
+
+  /// Builds the system from target specs (each prototype is cloned
+  /// `num_members` times).
+  explicit StorageSystem(const std::vector<TargetSpec>& specs);
+
+  StorageSystem(const StorageSystem&) = delete;
+  StorageSystem& operator=(const StorageSystem&) = delete;
+
+  int num_targets() const { return static_cast<int>(targets_.size()); }
+  StorageTarget& target(int j) { return *targets_[j]; }
+  const StorageTarget& target(int j) const { return *targets_[j]; }
+
+  EventQueue& queue() { return queue_; }
+  double Now() const { return queue_.Now(); }
+
+  /// Submits `req` to target `j`; `done` fires at completion time.
+  void Submit(int j, const TargetRequest& req,
+              StorageTarget::Completion done);
+
+  /// Sets the trace observer (or clears it with nullptr).
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+  /// Per-target capacities in bytes (the c_j of the layout problem).
+  std::vector<int64_t> capacities() const;
+
+  /// Measured utilization of target j over `elapsed` seconds:
+  /// busy device-seconds / (elapsed * members).
+  double MeasuredUtilization(int j, double elapsed) const;
+
+ private:
+  EventQueue queue_;
+  std::vector<std::unique_ptr<StorageTarget>> targets_;
+  Observer observer_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_STORAGE_STORAGE_SYSTEM_H_

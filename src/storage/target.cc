@@ -1,0 +1,249 @@
+#include "storage/target.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ldb {
+
+const char* RaidLevelName(RaidLevel level) {
+  switch (level) {
+    case RaidLevel::kRaid0:
+      return "raid0";
+    case RaidLevel::kRaid1:
+      return "raid1";
+    case RaidLevel::kRaid5:
+      return "raid5";
+  }
+  return "unknown";
+}
+
+StorageTarget::StorageTarget(std::string name,
+                             std::vector<std::unique_ptr<BlockDevice>> members,
+                             int64_t stripe_bytes, EventQueue* queue,
+                             double scheduler_max_wait_s,
+                             RaidLevel raid_level)
+    : name_(std::move(name)),
+      members_(std::move(members)),
+      stripe_bytes_(stripe_bytes),
+      queue_(queue),
+      scheduler_max_wait_s_(scheduler_max_wait_s),
+      raid_level_(raid_level) {
+  LDB_CHECK_GT(scheduler_max_wait_s_, 0.0);
+  LDB_CHECK(!members_.empty());
+  LDB_CHECK(queue_ != nullptr);
+  LDB_CHECK_GT(stripe_bytes_, 0);
+  int64_t member_capacity_sum = 0;
+  for (const auto& m : members_) {
+    LDB_CHECK(m != nullptr);
+    LDB_CHECK(m->model_name() == members_.front()->model_name());
+    member_capacity_sum += m->capacity_bytes();
+  }
+  const int64_t k = static_cast<int64_t>(members_.size());
+  switch (raid_level_) {
+    case RaidLevel::kRaid0:
+      capacity_bytes_ = member_capacity_sum;
+      break;
+    case RaidLevel::kRaid1:
+      LDB_CHECK_MSG(k >= 2, "RAID1 needs at least two members");
+      capacity_bytes_ = members_.front()->capacity_bytes();
+      break;
+    case RaidLevel::kRaid5:
+      LDB_CHECK_MSG(k >= 3, "RAID5 needs at least three members");
+      capacity_bytes_ = member_capacity_sum / k * (k - 1);
+      break;
+  }
+  member_queues_.resize(members_.size());
+  member_busy_.assign(members_.size(), false);
+}
+
+int64_t StorageTarget::AllocateSlot(Completion done) {
+  int64_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    inflight_[slot] = Inflight{};
+  } else {
+    slot = static_cast<int64_t>(inflight_.size());
+    inflight_.emplace_back();
+  }
+  inflight_[slot].done = std::move(done);
+  return slot;
+}
+
+void StorageTarget::EnqueueSub(size_t m, const DeviceRequest& dev_req,
+                               int64_t slot, int* subs) {
+  member_queues_[m].push_back(SubRequest{dev_req, slot, queue_->Now()});
+  ++*subs;
+}
+
+int StorageTarget::SubmitRaid0(const TargetRequest& req, int64_t slot) {
+  const int64_t k = static_cast<int64_t>(members_.size());
+  int64_t off = req.offset;
+  int64_t remaining = req.size;
+  int subs = 0;
+  // Coalesce adjacent same-member chunks (a request larger than stripe*k
+  // wraps back onto the same member).
+  struct PerMemberAcc {
+    bool active = false;
+    int64_t offset = 0;
+    int64_t size = 0;
+  };
+  std::vector<PerMemberAcc> acc(members_.size());
+  auto flush = [&](size_t m) {
+    if (!acc[m].active) return;
+    EnqueueSub(m, DeviceRequest{acc[m].offset, acc[m].size, req.is_write},
+               slot, &subs);
+    acc[m] = PerMemberAcc{};
+  };
+  while (remaining > 0) {
+    const int64_t stripe_index = off / stripe_bytes_;
+    const int64_t within = off % stripe_bytes_;
+    const int64_t chunk = std::min(remaining, stripe_bytes_ - within);
+    const size_t member = static_cast<size_t>(stripe_index % k);
+    const int64_t member_off = (stripe_index / k) * stripe_bytes_ + within;
+    if (acc[member].active &&
+        acc[member].offset + acc[member].size == member_off) {
+      acc[member].size += chunk;
+    } else {
+      flush(member);
+      acc[member].active = true;
+      acc[member].offset = member_off;
+      acc[member].size = chunk;
+    }
+    off += chunk;
+    remaining -= chunk;
+  }
+  for (size_t m = 0; m < members_.size(); ++m) flush(m);
+  return subs;
+}
+
+int StorageTarget::SubmitRaid1(const TargetRequest& req, int64_t slot) {
+  int subs = 0;
+  if (req.is_write) {
+    // Mirrored write: every member writes the same extent.
+    for (size_t m = 0; m < members_.size(); ++m) {
+      EnqueueSub(m, DeviceRequest{req.offset, req.size, true}, slot, &subs);
+    }
+  } else {
+    // Read from one member, rotating to spread load.
+    const size_t m = next_read_member_++ % members_.size();
+    EnqueueSub(m, DeviceRequest{req.offset, req.size, false}, slot, &subs);
+  }
+  return subs;
+}
+
+int StorageTarget::SubmitRaid5(const TargetRequest& req, int64_t slot) {
+  // Left-symmetric RAID5: stripe row r keeps its parity chunk on member
+  // (k-1 - r mod k); data chunks occupy the remaining k-1 members.
+  const int64_t k = static_cast<int64_t>(members_.size());
+  const int64_t data_cols = k - 1;
+  int64_t off = req.offset;
+  int64_t remaining = req.size;
+  int subs = 0;
+  int64_t last_parity_row = -1;
+  while (remaining > 0) {
+    const int64_t stripe_index = off / stripe_bytes_;
+    const int64_t within = off % stripe_bytes_;
+    const int64_t chunk = std::min(remaining, stripe_bytes_ - within);
+    const int64_t row = stripe_index / data_cols;
+    const int64_t col = stripe_index % data_cols;
+    const int64_t parity_member = (k - 1) - (row % k);
+    const int64_t data_member = col < parity_member ? col : col + 1;
+    const int64_t member_off = row * stripe_bytes_ + within;
+    EnqueueSub(static_cast<size_t>(data_member),
+               DeviceRequest{member_off, chunk, req.is_write}, slot, &subs);
+    if (req.is_write && row != last_parity_row) {
+      // Parity read-modify-write for the touched row (one RMW per row:
+      // adjacent chunks in the row share the parity update).
+      EnqueueSub(static_cast<size_t>(parity_member),
+                 DeviceRequest{member_off, chunk, false}, slot, &subs);
+      EnqueueSub(static_cast<size_t>(parity_member),
+                 DeviceRequest{member_off, chunk, true}, slot, &subs);
+      last_parity_row = row;
+    }
+    off += chunk;
+    remaining -= chunk;
+  }
+  return subs;
+}
+
+void StorageTarget::Submit(const TargetRequest& req, Completion done) {
+  LDB_CHECK_GE(req.offset, 0);
+  LDB_CHECK_GT(req.size, 0);
+  LDB_CHECK_MSG(req.offset + req.size <= capacity_bytes_,
+                "request beyond target %s capacity", name_.c_str());
+  const int64_t slot = AllocateSlot(std::move(done));
+  int subs = 0;
+  switch (raid_level_) {
+    case RaidLevel::kRaid0:
+      subs = SubmitRaid0(req, slot);
+      break;
+    case RaidLevel::kRaid1:
+      subs = SubmitRaid1(req, slot);
+      break;
+    case RaidLevel::kRaid5:
+      subs = SubmitRaid5(req, slot);
+      break;
+  }
+  LDB_CHECK_GT(subs, 0);
+  inflight_[slot].pending_subs = subs;
+  for (size_t m = 0; m < members_.size(); ++m) MaybeDispatch(m);
+}
+
+void StorageTarget::MaybeDispatch(size_t m) {
+  if (member_busy_[m] || member_queues_[m].empty()) return;
+
+  // Shortest-positioning-time-first among queued sub-requests (SCAN-like
+  // behaviour: deeper queues mean cheaper average positioning), with a
+  // deadline-style starvation bound: once the oldest request (the queue
+  // front) has waited too long, it goes next unconditionally.
+  auto& q = member_queues_[m];
+  size_t best = 0;
+  if (queue_->Now() - q.front().enqueue_time < scheduler_max_wait_s_) {
+    double best_cost = members_[m]->PositioningEstimate(q[0].dev_req);
+    for (size_t i = 1; i < q.size(); ++i) {
+      const double c = members_[m]->PositioningEstimate(q[i].dev_req);
+      if (c < best_cost) {
+        best_cost = c;
+        best = i;
+      }
+    }
+  }
+  SubRequest sub = q[best];
+  q.erase(q.begin() + static_cast<std::ptrdiff_t>(best));
+
+  member_busy_[m] = true;
+  const double service = members_[m]->ServiceTime(sub.dev_req);
+  busy_time_ += service;
+  const int64_t parent = sub.parent;
+  queue_->ScheduleAfter(service, [this, m, parent]() {
+    member_busy_[m] = false;
+    Inflight& fl = inflight_[parent];
+    LDB_CHECK_GT(fl.pending_subs, 0);
+    if (--fl.pending_subs == 0) {
+      ++requests_completed_;
+      Completion done = std::move(fl.done);
+      fl.done = nullptr;
+      free_slots_.push_back(parent);
+      if (done) done(queue_->Now());
+    }
+    MaybeDispatch(m);
+  });
+}
+
+void StorageTarget::Reset() {
+  for (size_t m = 0; m < members_.size(); ++m) {
+    LDB_CHECK_MSG(!member_busy_[m] && member_queues_[m].empty(),
+                  "Reset() on a busy target");
+    members_[m]->Reset();
+  }
+  inflight_.clear();
+  free_slots_.clear();
+  next_read_member_ = 0;
+  busy_time_ = 0.0;
+  requests_completed_ = 0;
+}
+
+}  // namespace ldb

@@ -1,0 +1,106 @@
+#include "trace/replay.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace ldb {
+
+Result<ReplayResult> ReplayTrace(const IoTrace& trace, StorageSystem* system,
+                                 const StripedVolumeManager* volumes) {
+  if (system == nullptr || volumes == nullptr) {
+    return Status::InvalidArgument("system and volumes required");
+  }
+  if (trace.empty()) {
+    return Status::InvalidArgument("cannot replay an empty trace");
+  }
+  for (const IoEvent& ev : trace.events()) {
+    if (ev.object < 0 || ev.object >= volumes->num_objects()) {
+      return Status::InvalidArgument(
+          StrFormat("trace references unmapped object %d", ev.object));
+    }
+    if (ev.logical_offset < 0 || ev.size <= 0 ||
+        ev.logical_offset + ev.size > volumes->object_size(ev.object)) {
+      return Status::InvalidArgument(
+          StrFormat("trace request outside object %d", ev.object));
+    }
+  }
+
+  // Start from quiescent devices and shift the trace to the current clock.
+  for (int j = 0; j < system->num_targets(); ++j) system->target(j).Reset();
+  double min_submit = trace.events().front().submit_time;
+  for (const IoEvent& ev : trace.events()) {
+    min_submit = std::min(min_submit, ev.submit_time);
+  }
+  const double base = system->Now();
+  const double shift = base - min_submit;
+
+  // Order submissions by recorded issue order.
+  std::vector<const IoEvent*> order;
+  order.reserve(trace.size());
+  for (const IoEvent& ev : trace.events()) order.push_back(&ev);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const IoEvent* a, const IoEvent* b) {
+                     if (a->submit_time != b->submit_time) {
+                       return a->submit_time < b->submit_time;
+                     }
+                     return a->seq < b->seq;
+                   });
+
+  auto latencies = std::make_shared<std::vector<double>>();
+  latencies->reserve(order.size());
+  double last_completion = base;
+  auto chunks = std::make_shared<std::vector<TargetChunk>>();
+
+  for (const IoEvent* ev : order) {
+    const double submit_at = ev->submit_time + shift;
+    system->queue().ScheduleAt(
+        submit_at, [system, volumes, ev, submit_at, latencies, chunks,
+                    &last_completion]() {
+          chunks->clear();
+          volumes->Map(ev->object, ev->logical_offset, ev->size,
+                       chunks.get());
+          auto pending =
+              std::make_shared<int>(static_cast<int>(chunks->size()));
+          for (const TargetChunk& c : *chunks) {
+            TargetRequest tr;
+            tr.offset = c.offset;
+            tr.size = c.size;
+            tr.is_write = ev->is_write;
+            tr.object = ev->object;
+            tr.logical_offset = ev->logical_offset;
+            system->Submit(c.target, tr,
+                           [submit_at, pending, latencies,
+                            &last_completion](double when) {
+                             if (--*pending == 0) {
+                               latencies->push_back(when - submit_at);
+                               last_completion =
+                                   std::max(last_completion, when);
+                             }
+                           });
+          }
+        });
+  }
+  system->queue().RunUntilIdle();
+
+  ReplayResult result;
+  result.requests = latencies->size();
+  LDB_CHECK_EQ(result.requests, order.size());
+  result.elapsed_seconds = last_completion - base;
+  double total = 0;
+  for (double l : *latencies) total += l;
+  result.mean_latency_s = total / static_cast<double>(latencies->size());
+  std::sort(latencies->begin(), latencies->end());
+  result.p99_latency_s =
+      (*latencies)[static_cast<size_t>(0.99 * (latencies->size() - 1))];
+  const double elapsed = std::max(result.elapsed_seconds, 1e-9);
+  for (int j = 0; j < system->num_targets(); ++j) {
+    result.utilization.push_back(system->MeasuredUtilization(j, elapsed));
+  }
+  return result;
+}
+
+}  // namespace ldb

@@ -1,0 +1,37 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+namespace ldb {
+
+double IoTrace::Duration() const {
+  if (events_.empty()) return 0.0;
+  double min_submit = events_.front().submit_time;
+  double max_complete = events_.front().complete_time;
+  for (const IoEvent& ev : events_) {
+    min_submit = std::min(min_submit, ev.submit_time);
+    max_complete = std::max(max_complete, ev.complete_time);
+  }
+  return max_complete - min_submit;
+}
+
+uint64_t IoTrace::CountForObject(ObjectId i) const {
+  uint64_t n = 0;
+  for (const IoEvent& ev : events_) n += (ev.object == i);
+  return n;
+}
+
+TraceCollector::TraceCollector(StorageSystem* system) : system_(system) {
+  system_->set_observer([this](const IoEvent& ev) { trace_.Add(ev); });
+}
+
+TraceCollector::~TraceCollector() { Detach(); }
+
+void TraceCollector::Detach() {
+  if (system_ != nullptr) {
+    system_->set_observer(nullptr);
+    system_ = nullptr;
+  }
+}
+
+}  // namespace ldb

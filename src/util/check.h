@@ -1,0 +1,54 @@
+#ifndef LAYOUTDB_UTIL_CHECK_H_
+#define LAYOUTDB_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Assertion macros for programmer errors (invariant violations).
+///
+/// These terminate the process; they are for conditions that indicate a bug
+/// in the caller or in the library itself, never for recoverable runtime
+/// errors (use ldb::Status / ldb::Result for those).
+
+/// Aborts with a message if `cond` is false. Enabled in all build types.
+#define LDB_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "LDB_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+/// Aborts with a formatted message if `cond` is false.
+#define LDB_CHECK_MSG(cond, ...)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "LDB_CHECK failed at %s:%d: %s: ", __FILE__,   \
+                   __LINE__, #cond);                                      \
+      std::fprintf(stderr, __VA_ARGS__);                                  \
+      std::fprintf(stderr, "\n");                                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+/// Comparison checks with operand printing.
+#define LDB_CHECK_OP(op, a, b)                                               \
+  do {                                                                      \
+    if (!((a)op(b))) {                                                      \
+      std::fprintf(stderr, "LDB_CHECK failed at %s:%d: %s %s %s (%g vs %g)\n", \
+                   __FILE__, __LINE__, #a, #op, #b,                         \
+                   static_cast<double>(a), static_cast<double>(b));         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define LDB_CHECK_EQ(a, b) LDB_CHECK_OP(==, a, b)
+#define LDB_CHECK_NE(a, b) LDB_CHECK_OP(!=, a, b)
+#define LDB_CHECK_LT(a, b) LDB_CHECK_OP(<, a, b)
+#define LDB_CHECK_LE(a, b) LDB_CHECK_OP(<=, a, b)
+#define LDB_CHECK_GT(a, b) LDB_CHECK_OP(>, a, b)
+#define LDB_CHECK_GE(a, b) LDB_CHECK_OP(>=, a, b)
+
+#endif  // LAYOUTDB_UTIL_CHECK_H_

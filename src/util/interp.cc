@@ -1,0 +1,96 @@
+#include "util/interp.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ldb {
+
+void LocateOnAxis(const std::vector<double>& axis, double x, size_t* index,
+                  double* weight) {
+  LDB_CHECK(!axis.empty());
+  if (axis.size() == 1 || x <= axis.front()) {
+    *index = 0;
+    *weight = 0.0;
+    return;
+  }
+  if (x >= axis.back()) {
+    *index = axis.size() - 2;
+    *weight = 1.0;
+    return;
+  }
+  const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+  const size_t hi = static_cast<size_t>(it - axis.begin());
+  const size_t lo = hi - 1;
+  *index = lo;
+  *weight = (x - axis[lo]) / (axis[hi] - axis[lo]);
+}
+
+Result<GridInterpolator> GridInterpolator::Create(
+    std::vector<std::vector<double>> axes, std::vector<double> values) {
+  if (axes.empty()) {
+    return Status::InvalidArgument("interpolator needs at least one axis");
+  }
+  size_t expected = 1;
+  for (const auto& axis : axes) {
+    if (axis.empty()) {
+      return Status::InvalidArgument("empty interpolation axis");
+    }
+    for (size_t i = 1; i < axis.size(); ++i) {
+      if (axis[i] <= axis[i - 1]) {
+        return Status::InvalidArgument(
+            "interpolation axis must be strictly increasing");
+      }
+    }
+    expected *= axis.size();
+  }
+  if (values.size() != expected) {
+    return Status::InvalidArgument("value array size does not match grid");
+  }
+  std::vector<size_t> strides(axes.size());
+  size_t stride = 1;
+  for (size_t d = axes.size(); d-- > 0;) {
+    strides[d] = stride;
+    stride *= axes[d].size();
+  }
+  return GridInterpolator(std::move(axes), std::move(values),
+                          std::move(strides));
+}
+
+GridInterpolator::GridInterpolator(std::vector<std::vector<double>> axes,
+                                   std::vector<double> values,
+                                   std::vector<size_t> strides)
+    : axes_(std::move(axes)),
+      values_(std::move(values)),
+      strides_(std::move(strides)) {}
+
+double GridInterpolator::At(const std::vector<double>& point) const {
+  LDB_CHECK_EQ(point.size(), axes_.size());
+  const size_t dims = axes_.size();
+  // Per-axis cell index and upper-edge weight.
+  std::vector<size_t> idx(dims);
+  std::vector<double> w(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    LocateOnAxis(axes_[d], point[d], &idx[d], &w[d]);
+  }
+  // Sum over the 2^dims cell corners.
+  const size_t corners = size_t{1} << dims;
+  double acc = 0.0;
+  for (size_t corner = 0; corner < corners; ++corner) {
+    double cw = 1.0;
+    size_t offset = 0;
+    for (size_t d = 0; d < dims; ++d) {
+      const bool upper = (corner >> d) & 1;
+      if (upper && axes_[d].size() == 1) {
+        cw = 0.0;  // degenerate axis: only the lower corner exists
+        break;
+      }
+      cw *= upper ? w[d] : (1.0 - w[d]);
+      offset += (idx[d] + (upper ? 1 : 0)) * strides_[d];
+    }
+    if (cw > 0.0) acc += cw * values_[offset];
+  }
+  return acc;
+}
+
+}  // namespace ldb

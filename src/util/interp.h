@@ -1,0 +1,56 @@
+#ifndef LAYOUTDB_UTIL_INTERP_H_
+#define LAYOUTDB_UTIL_INTERP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ldb {
+
+/// Multilinear interpolation over a rectilinear grid of tabulated values.
+///
+/// Axes are strictly increasing coordinate vectors; values are stored in
+/// row-major order (last axis fastest). Queries outside the grid are clamped
+/// to the boundary, which matches how the paper's black-box cost models are
+/// used: calibration covers the operating range, and queries beyond it
+/// saturate rather than extrapolate.
+///
+/// This is the interpolation engine behind the tabulated device cost models
+/// (Section 5.2.2 of the paper).
+class GridInterpolator {
+ public:
+  /// Creates an interpolator.
+  ///
+  /// \param axes one strictly-increasing coordinate vector per dimension
+  ///   (each with at least one entry).
+  /// \param values row-major value array; size must equal the product of
+  ///   the axis lengths.
+  static Result<GridInterpolator> Create(std::vector<std::vector<double>> axes,
+                                         std::vector<double> values);
+
+  /// Evaluates the interpolant at `point` (size must equal dimensions()).
+  double At(const std::vector<double>& point) const;
+
+  size_t dimensions() const { return axes_.size(); }
+  const std::vector<std::vector<double>>& axes() const { return axes_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  GridInterpolator(std::vector<std::vector<double>> axes,
+                   std::vector<double> values, std::vector<size_t> strides);
+
+  std::vector<std::vector<double>> axes_;
+  std::vector<double> values_;
+  std::vector<size_t> strides_;  // row-major strides per axis
+};
+
+/// Finds the cell `[i, i+1]` of a strictly increasing axis containing `x`
+/// and the interpolation weight `w` of the upper edge, clamping out-of-range
+/// queries. With a single-entry axis returns i=0, w=0.
+void LocateOnAxis(const std::vector<double>& axis, double x, size_t* index,
+                  double* weight);
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_UTIL_INTERP_H_

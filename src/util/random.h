@@ -1,0 +1,56 @@
+#ifndef LAYOUTDB_UTIL_RANDOM_H_
+#define LAYOUTDB_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ldb {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Used throughout the simulator and solver so that every experiment is
+/// reproducible from a seed. Not thread-safe; use one instance per thread.
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds produce equal streams.
+  explicit Rng(uint64_t seed = 42);
+
+  /// Returns a uniform random 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniform double in [0, 1).
+  double Uniform();
+
+  /// Returns a uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Returns a uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Returns a uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns an exponentially distributed value with the given mean.
+  double Exponential(double mean);
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Randomly permutes `v` in place (Fisher-Yates).
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_UTIL_RANDOM_H_

@@ -1,0 +1,128 @@
+#ifndef LAYOUTDB_UTIL_STATUS_H_
+#define LAYOUTDB_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace ldb {
+
+/// Error categories for fallible library operations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kCapacityExceeded,
+  kInfeasible,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight error-or-success type for recoverable failures.
+///
+/// Library operations that can fail due to caller input (e.g., an infeasible
+/// layout problem) return Status or Result<T>; invariant violations use
+/// LDB_CHECK instead. The library is exception-free.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs an error status with a message. `code` must not be kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    LDB_CHECK(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error. Holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning code.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::...;`.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    LDB_CHECK_MSG(!std::get<Status>(data_).ok(),
+                  "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  /// Requires ok().
+  const T& value() const& {
+    LDB_CHECK_MSG(ok(), "Result::value() on error: %s",
+                  std::get<Status>(data_).message().c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    LDB_CHECK_MSG(ok(), "Result::value() on error: %s",
+                  std::get<Status>(data_).message().c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    LDB_CHECK_MSG(ok(), "Result::value() on error: %s",
+                  std::get<Status>(data_).message().c_str());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define LDB_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::ldb::Status ldb_status__ = (expr);         \
+    if (!ldb_status__.ok()) return ldb_status__; \
+  } while (0)
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_UTIL_STATUS_H_

@@ -1,0 +1,39 @@
+#ifndef LAYOUTDB_UTIL_TABLE_H_
+#define LAYOUTDB_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace ldb {
+
+/// Plain-text table builder used by the benchmark harnesses to print
+/// paper-style result tables.
+///
+/// Usage:
+///   TextTable t({"Workload", "SEE (s)", "Optimized (s)", "Speedup"});
+///   t.AddRow({"OLAP1-63", "40927", "31879", "1.28x"});
+///   std::cout << t.ToString();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with aligned columns and a header separator.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style std::string formatting helper.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_UTIL_TABLE_H_

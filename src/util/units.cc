@@ -1,0 +1,35 @@
+#include "util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ldb {
+
+std::string FormatBytes(int64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f GiB", b / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", b / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", b / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (std::fabs(seconds) >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  } else if (std::fabs(seconds) >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace ldb

@@ -1,0 +1,23 @@
+#ifndef LAYOUTDB_UTIL_UNITS_H_
+#define LAYOUTDB_UTIL_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ldb {
+
+/// Byte-size constants. All sizes in the library are int64_t bytes; all
+/// times are double seconds; all rates are per-second.
+inline constexpr int64_t kKiB = 1024;
+inline constexpr int64_t kMiB = 1024 * kKiB;
+inline constexpr int64_t kGiB = 1024 * kMiB;
+
+/// Formats a byte count as a human-readable string, e.g. "18.4 GiB".
+std::string FormatBytes(int64_t bytes);
+
+/// Formats seconds as "1234.5 s" or "12.3 ms" depending on magnitude.
+std::string FormatSeconds(double seconds);
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_UTIL_UNITS_H_

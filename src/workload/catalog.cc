@@ -1,0 +1,150 @@
+#include "workload/catalog.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace ldb {
+
+namespace {
+
+/// Scales a size, keeping a 1 MiB floor so tiny objects stay mappable.
+int64_t Scaled(double mib, double scale) {
+  const double bytes = mib * static_cast<double>(kMiB) * scale;
+  return std::max<int64_t>(kMiB, static_cast<int64_t>(bytes));
+}
+
+}  // namespace
+
+const char* ObjectKindName(ObjectKind kind) {
+  switch (kind) {
+    case ObjectKind::kTable:
+      return "table";
+    case ObjectKind::kIndex:
+      return "index";
+    case ObjectKind::kTempSpace:
+      return "temp";
+    case ObjectKind::kLog:
+      return "log";
+  }
+  return "unknown";
+}
+
+Catalog Catalog::TpcH(double scale) {
+  LDB_CHECK_GT(scale, 0.0);
+  Catalog c;
+  auto add = [&](const char* name, ObjectKind kind, double mib) {
+    c.Add(DbObject{name, kind, Scaled(mib, scale)});
+  };
+  // Tables (8), sized after a scale-factor-5 PostgreSQL TPC-H database.
+  add("LINEITEM", ObjectKind::kTable, 3800);
+  add("ORDERS", ObjectKind::kTable, 860);
+  add("PARTSUPP", ObjectKind::kTable, 600);
+  add("PART", ObjectKind::kTable, 150);
+  add("CUSTOMER", ObjectKind::kTable, 125);
+  add("SUPPLIER", ObjectKind::kTable, 9);
+  add("NATION", ObjectKind::kTable, 1);
+  add("REGION", ObjectKind::kTable, 1);
+  // Indexes (11).
+  add("I_L_ORDERKEY", ObjectKind::kIndex, 620);
+  add("I_L_SUPPK_PARTK", ObjectKind::kIndex, 540);
+  add("I_L_SHIPDATE", ObjectKind::kIndex, 470);
+  add("ORDERS_PKEY", ObjectKind::kIndex, 180);
+  add("I_O_CUSTKEY", ObjectKind::kIndex, 170);
+  add("I_O_ORDERDATE", ObjectKind::kIndex, 165);
+  add("PARTSUPP_PKEY", ObjectKind::kIndex, 130);
+  add("PART_PKEY", ObjectKind::kIndex, 28);
+  add("CUSTOMER_PKEY", ObjectKind::kIndex, 24);
+  add("I_C_NATIONKEY", ObjectKind::kIndex, 22);
+  add("SUPPLIER_PKEY", ObjectKind::kIndex, 2);
+  // Temporary tablespace (1).
+  add("TEMP SPACE", ObjectKind::kTempSpace, 1280);
+  return c;
+}
+
+Catalog Catalog::TpcC(double scale) {
+  LDB_CHECK_GT(scale, 0.0);
+  Catalog c;
+  auto add = [&](const char* name, ObjectKind kind, double mib) {
+    c.Add(DbObject{name, kind, Scaled(mib, scale)});
+  };
+  // Tables (9), sized after a 90-warehouse TPC-C database.
+  add("STOCK", ObjectKind::kTable, 2900);
+  add("ORDER_LINE", ObjectKind::kTable, 1950);
+  add("CUSTOMER", ObjectKind::kTable, 1700);
+  add("HISTORY", ObjectKind::kTable, 450);
+  add("ORDERS", ObjectKind::kTable, 350);
+  add("NEW_ORDER", ObjectKind::kTable, 100);
+  add("ITEM", ObjectKind::kTable, 80);
+  add("DISTRICT", ObjectKind::kTable, 2);
+  add("WAREHOUSE", ObjectKind::kTable, 1);
+  // Indexes (10).
+  add("PK_STOCK", ObjectKind::kIndex, 340);
+  add("PK_ORDER_LINE", ObjectKind::kIndex, 440);
+  add("PK_CUSTOMER", ObjectKind::kIndex, 180);
+  add("I_CUSTOMER", ObjectKind::kIndex, 160);
+  add("PK_ORDERS", ObjectKind::kIndex, 75);
+  add("I_ORDERS", ObjectKind::kIndex, 70);
+  add("PK_NEW_ORDER", ObjectKind::kIndex, 25);
+  add("PK_ITEM", ObjectKind::kIndex, 10);
+  add("PK_DISTRICT", ObjectKind::kIndex, 1);
+  add("PK_WAREHOUSE", ObjectKind::kIndex, 1);
+  // Transaction log (1).
+  add("XactionLOG", ObjectKind::kLog, 280);
+  return c;
+}
+
+Catalog Catalog::Merge(const Catalog& a, const Catalog& b,
+                       const std::string& prefix_a,
+                       const std::string& prefix_b) {
+  Catalog merged;
+  for (const DbObject& o : a.objects_) {
+    DbObject copy = o;
+    if (!prefix_a.empty()) copy.name = prefix_a + copy.name;
+    merged.Add(std::move(copy));
+  }
+  for (const DbObject& o : b.objects_) {
+    DbObject copy = o;
+    if (!prefix_b.empty()) copy.name = prefix_b + copy.name;
+    merged.Add(std::move(copy));
+  }
+  return merged;
+}
+
+Result<ObjectId> Catalog::Find(const std::string& name) const {
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    if (objects_[i].name == name) return static_cast<ObjectId>(i);
+  }
+  return Status::NotFound(StrFormat("no object named %s", name.c_str()));
+}
+
+std::vector<int64_t> Catalog::sizes() const {
+  std::vector<int64_t> out;
+  out.reserve(objects_.size());
+  for (const DbObject& o : objects_) out.push_back(o.size_bytes);
+  return out;
+}
+
+int64_t Catalog::total_bytes() const {
+  int64_t total = 0;
+  for (const DbObject& o : objects_) total += o.size_bytes;
+  return total;
+}
+
+std::vector<std::string> Catalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(objects_.size());
+  for (const DbObject& o : objects_) out.push_back(o.name);
+  return out;
+}
+
+ObjectId Catalog::Add(DbObject object) {
+  LDB_CHECK(!object.name.empty());
+  LDB_CHECK_GT(object.size_bytes, 0);
+  objects_.push_back(std::move(object));
+  return static_cast<ObjectId>(objects_.size() - 1);
+}
+
+}  // namespace ldb

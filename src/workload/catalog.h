@@ -1,0 +1,71 @@
+#ifndef LAYOUTDB_WORKLOAD_CATALOG_H_
+#define LAYOUTDB_WORKLOAD_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/io_request.h"
+#include "util/status.h"
+
+namespace ldb {
+
+/// Kinds of database objects the advisor lays out.
+enum class ObjectKind { kTable, kIndex, kTempSpace, kLog };
+
+const char* ObjectKindName(ObjectKind kind);
+
+/// One database object: a table, index, temporary tablespace, or log.
+struct DbObject {
+  std::string name;
+  ObjectKind kind = ObjectKind::kTable;
+  int64_t size_bytes = 0;
+};
+
+/// A database catalog: the set of objects to be laid out. Mirrors the
+/// paper's Figure 9 databases — a scale-factor-5 TPC-H database (8 tables,
+/// 11 indexes, 1 temp space; ~9.4 GB) and a scale-factor-90 TPC-C database
+/// (9 tables, 10 indexes, 1 log; ~9.1 GB).
+class Catalog {
+ public:
+  /// TPC-H SF5-like catalog. `scale` scales all object sizes (1.0 = paper
+  /// scale); benchmarks use smaller scales for fast simulation.
+  static Catalog TpcH(double scale = 1.0);
+
+  /// TPC-C SF90-like catalog.
+  static Catalog TpcC(double scale = 1.0);
+
+  /// Concatenates two catalogs (the consolidation scenario, Section 6.3).
+  /// Object names are prefixed with `prefix_a`/`prefix_b` when non-empty.
+  static Catalog Merge(const Catalog& a, const Catalog& b,
+                       const std::string& prefix_a = "",
+                       const std::string& prefix_b = "");
+
+  int num_objects() const { return static_cast<int>(objects_.size()); }
+  const DbObject& object(ObjectId i) const {
+    return objects_[static_cast<size_t>(i)];
+  }
+  const std::vector<DbObject>& objects() const { return objects_; }
+
+  /// Index of the object named `name`, or error if absent.
+  Result<ObjectId> Find(const std::string& name) const;
+
+  /// All object sizes, indexed by ObjectId.
+  std::vector<int64_t> sizes() const;
+
+  /// Sum of all object sizes.
+  int64_t total_bytes() const;
+
+  /// Object names, indexed by ObjectId (for report printing).
+  std::vector<std::string> names() const;
+
+  /// Appends an object and returns its id.
+  ObjectId Add(DbObject object);
+
+ private:
+  std::vector<DbObject> objects_;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_WORKLOAD_CATALOG_H_

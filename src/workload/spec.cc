@@ -1,0 +1,47 @@
+#include "workload/spec.h"
+
+#include <utility>
+
+#include "util/random.h"
+#include "util/table.h"
+#include "workload/tpch.h"
+
+namespace ldb {
+
+Result<OlapSpec> MakeOlapSpec(const Catalog& tpch_catalog, int copies,
+                              int concurrency, uint64_t shuffle_seed) {
+  if (copies <= 0 || concurrency <= 0) {
+    return Status::InvalidArgument("copies and concurrency must be positive");
+  }
+  auto templates = TpchQueryProfiles(tpch_catalog);
+  if (!templates.ok()) return templates.status();
+
+  OlapSpec spec;
+  spec.name = StrFormat("OLAP%d-%d", concurrency,
+                        copies * static_cast<int>(templates->size()));
+  spec.concurrency = concurrency;
+  for (int c = 0; c < copies; ++c) {
+    for (const QueryProfile& q : *templates) spec.queries.push_back(q);
+  }
+  Rng rng(shuffle_seed);
+  rng.Shuffle(&spec.queries);
+  return spec;
+}
+
+Result<OltpSpec> MakeOltpSpec(const Catalog& catalog,
+                              const std::string& name_prefix, int terminals,
+                              double warmup_s) {
+  if (terminals <= 0) {
+    return Status::InvalidArgument("terminals must be positive");
+  }
+  auto txn = TpccTransactionProfile(catalog, name_prefix);
+  if (!txn.ok()) return txn.status();
+  OltpSpec spec;
+  spec.name = "OLTP";
+  spec.transaction = std::move(txn).value();
+  spec.terminals = terminals;
+  spec.warmup_s = warmup_s;
+  return spec;
+}
+
+}  // namespace ldb

@@ -1,0 +1,374 @@
+#include "workload/tpch.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace ldb {
+
+namespace {
+
+/// Request sizes used by the profile generator.
+// Request sizes used by the profile generator. They reflect what a
+// period DBMS with OS readahead issues to storage: ~64 KiB effective
+// sequential reads (8 KiB page reads coalesced by readahead, one LVM
+// stripe), and 8 KiB point probes. Each stream is a synchronous request
+// chain, so a single scan runs at roughly one disk's bandwidth no matter
+// how many targets the object is striped across — as on the paper's
+// testbed.
+constexpr int64_t kScanRequest = 64 * kKiB;    // table scans
+constexpr int64_t kIndexRequest = 64 * kKiB;   // index range scans
+constexpr int64_t kProbeRequest = 8 * kKiB;    // index/heap probes
+// Temp spills are written and read back in larger buffered units (sort
+// and hash operators do 128 KiB transfers).
+constexpr int64_t kTempRequest = 128 * kKiB;
+
+/// Helper that resolves names against the catalog and assembles profiles,
+/// accumulating the first lookup error.
+class ProfileBuilder {
+ public:
+  ProfileBuilder(const Catalog& catalog, std::string prefix)
+      : catalog_(catalog), prefix_(std::move(prefix)) {}
+
+  /// Starts a new profile.
+  void Begin(const char* name) {
+    profile_ = QueryProfile{};
+    profile_.name = name;
+  }
+
+  /// Starts a new (initially empty) step in the current profile with the
+  /// given paced-loop depth.
+  void Step(int depth = 4) {
+    profile_.steps.emplace_back();
+    profile_.steps.back().depth = depth;
+  }
+
+  /// Adds a sequential scan over `fraction` of the named table.
+  void Scan(const char* object, double fraction) {
+    AddStream(object, fraction, kScanRequest, AccessPattern::kSequential,
+              /*write_fraction=*/0.0);
+  }
+
+  /// Adds a sequential range scan over `fraction` of the named index.
+  void IndexScan(const char* object, double fraction) {
+    AddStream(object, fraction, kIndexRequest, AccessPattern::kSequential,
+              0.0);
+  }
+
+  /// Adds random point probes covering `fraction` of the named object.
+  void Probe(const char* object, double fraction) {
+    AddStream(object, fraction, kProbeRequest, AccessPattern::kRandom, 0.0);
+  }
+
+  /// Adds a temp-space spill (append writes) of `fraction` of TEMP SPACE.
+  void TempWrite(double fraction) {
+    AddStream("TEMP SPACE", fraction, kTempRequest, AccessPattern::kAppend,
+              1.0);
+  }
+
+  /// Adds a sequential read-back of `fraction` of TEMP SPACE.
+  void TempRead(double fraction) {
+    AddStream("TEMP SPACE", fraction, kTempRequest,
+              AccessPattern::kSequential, 0.0);
+  }
+
+  /// Finishes the current profile and appends it to the output.
+  void End() {
+    // Drop empty steps defensively (a profile must make progress).
+    LDB_CHECK(!profile_.steps.empty());
+    profiles_.push_back(std::move(profile_));
+  }
+
+  Result<std::vector<QueryProfile>> Take() {
+    if (!status_.ok()) return status_;
+    return std::move(profiles_);
+  }
+
+  /// Adds a stream transferring `fraction` of the named object.
+  void AddStream(const char* object, double fraction, int64_t request_bytes,
+                 AccessPattern pattern, double write_fraction) {
+    auto id = Resolve(object);
+    if (!id.ok()) return;
+    const int64_t size = catalog_.object(*id).size_bytes;
+    const int64_t bytes = std::max<int64_t>(
+        request_bytes,
+        static_cast<int64_t>(fraction * static_cast<double>(size)));
+    AddStreamBytes(*id, bytes, request_bytes, pattern, write_fraction);
+  }
+
+  /// Adds a stream of exactly `count` requests (OLTP point accesses).
+  void Requests(const char* object, int64_t count, int64_t request_bytes,
+                AccessPattern pattern, double write_fraction) {
+    auto id = Resolve(object);
+    if (!id.ok()) return;
+    AddStreamBytes(*id, count * request_bytes, request_bytes, pattern,
+                   write_fraction);
+  }
+
+ private:
+  Result<ObjectId> Resolve(const char* object) {
+    if (!status_.ok()) return status_;
+    auto id = catalog_.Find(prefix_ + object);
+    if (!id.ok()) status_ = id.status();
+    return id;
+  }
+
+  void AddStreamBytes(ObjectId id, int64_t bytes, int64_t request_bytes,
+                      AccessPattern pattern, double write_fraction) {
+    LDB_CHECK(!profile_.steps.empty());
+    StreamSpec s;
+    s.object = id;
+    s.bytes = bytes;
+    s.request_bytes = request_bytes;
+    s.pattern = pattern;
+    s.write_fraction = write_fraction;
+    profile_.steps.back().streams.push_back(s);
+  }
+
+  const Catalog& catalog_;
+  std::string prefix_;
+  Status status_;
+  QueryProfile profile_;
+  std::vector<QueryProfile> profiles_;
+};
+
+}  // namespace
+
+Result<std::vector<QueryProfile>> TpchQueryProfiles(const Catalog& catalog) {
+  ProfileBuilder b(catalog, "");
+
+  // Q1: pricing summary — full LINEITEM scan.
+  b.Begin("Q1");
+  b.Step();
+  b.Scan("LINEITEM", 1.0);
+  b.End();
+
+  // Q2: minimum-cost supplier — PART/PARTSUPP/SUPPLIER join.
+  b.Begin("Q2");
+  b.Step();
+  b.Scan("PART", 0.5);
+  b.Scan("PARTSUPP", 0.5);
+  b.Scan("SUPPLIER", 1.0);
+  b.End();
+
+  // Q3: shipping priority — LINEITEM/ORDERS/CUSTOMER join with a sort spill.
+  b.Begin("Q3");
+  b.Step();
+  b.Scan("LINEITEM", 0.9);
+  b.Scan("ORDERS", 0.9);
+  b.Scan("CUSTOMER", 0.8);
+  b.TempWrite(0.20);
+  b.Step();
+  b.TempRead(0.20);
+  b.End();
+
+  // Q4: order priority checking — ORDERS scan with an index semi-join.
+  b.Begin("Q4");
+  b.Step();
+  b.Scan("ORDERS", 1.0);
+  b.IndexScan("I_L_ORDERKEY", 0.7);
+  b.Probe("ORDERS_PKEY", 0.15);
+  b.End();
+
+  // Q5: local supplier volume.
+  b.Begin("Q5");
+  b.Step();
+  b.Scan("LINEITEM", 0.9);
+  b.Scan("ORDERS", 0.8);
+  b.Scan("CUSTOMER", 0.6);
+  b.Scan("SUPPLIER", 1.0);
+  b.End();
+
+  // Q6: forecasting revenue change — full LINEITEM scan.
+  b.Begin("Q6");
+  b.Step();
+  b.Scan("LINEITEM", 1.0);
+  b.End();
+
+  // Q7: volume shipping.
+  b.Begin("Q7");
+  b.Step();
+  b.Scan("LINEITEM", 0.9);
+  b.Scan("ORDERS", 0.7);
+  b.Scan("CUSTOMER", 0.5);
+  b.TempWrite(0.14);
+  b.Step();
+  b.TempRead(0.14);
+  b.End();
+
+  // Q8: national market share.
+  b.Begin("Q8");
+  b.Step();
+  b.Scan("LINEITEM", 0.8);
+  b.Scan("ORDERS", 0.7);
+  b.Scan("PART", 0.6);
+  b.Scan("CUSTOMER", 0.4);
+  b.End();
+
+  // (Q9 excluded — excessive runtime on the paper's system, Section 6.1.)
+
+  // Q10: returned item reporting.
+  b.Begin("Q10");
+  b.Step();
+  b.Scan("LINEITEM", 0.7);
+  b.Scan("ORDERS", 0.9);
+  b.Scan("CUSTOMER", 0.9);
+  b.TempWrite(0.16);
+  b.Step();
+  b.TempRead(0.16);
+  b.End();
+
+  // Q11: important stock identification.
+  b.Begin("Q11");
+  b.Step();
+  b.Scan("PARTSUPP", 1.0);
+  b.Scan("SUPPLIER", 1.0);
+  b.TempWrite(0.05);
+  b.Step();
+  b.TempRead(0.05);
+  b.End();
+
+  // Q12: shipping modes (orderkey merge join uses the lineitem index).
+  b.Begin("Q12");
+  b.Step();
+  b.Scan("LINEITEM", 0.9);
+  b.Scan("ORDERS", 0.8);
+  b.IndexScan("I_L_ORDERKEY", 0.5);
+  b.End();
+
+  // Q13: customer distribution (outer join + aggregation spill).
+  b.Begin("Q13");
+  b.Step();
+  b.Scan("ORDERS", 1.0);
+  b.Scan("CUSTOMER", 1.0);
+  b.TempWrite(0.20);
+  b.Step();
+  b.TempRead(0.20);
+  b.End();
+
+  // Q14: promotion effect.
+  b.Begin("Q14");
+  b.Step();
+  b.Scan("LINEITEM", 0.8);
+  b.Scan("PART", 0.7);
+  b.End();
+
+  // Q15: top supplier.
+  b.Begin("Q15");
+  b.Step();
+  b.Scan("LINEITEM", 0.9);
+  b.Scan("SUPPLIER", 1.0);
+  b.TempWrite(0.04);
+  b.Step();
+  b.TempRead(0.04);
+  b.End();
+
+  // Q16: parts/supplier relationship.
+  b.Begin("Q16");
+  b.Step();
+  b.Scan("PARTSUPP", 0.7);
+  b.Scan("PART", 0.8);
+  b.TempWrite(0.06);
+  b.Step();
+  b.TempRead(0.06);
+  b.End();
+
+  // Q17: small-quantity-order revenue — index-nested-loop into LINEITEM.
+  b.Begin("Q17");
+  b.Step();
+  b.Scan("PART", 0.4);
+  b.Step(/*depth=*/1);  // index-nested-loop: dependent point reads
+  b.Probe("I_L_ORDERKEY", 0.18);
+  b.Probe("LINEITEM", 0.02);
+  b.End();
+
+  // Q18: large-volume customer — the paper's temp-heavy query (its
+  // intermediate results are what AutoAdmin's cardinality estimates get
+  // wrong, Section 6.6).
+  b.Begin("Q18");
+  b.Step();
+  b.Scan("ORDERS", 1.0);
+  b.Scan("LINEITEM", 1.0);
+  b.IndexScan("I_L_ORDERKEY", 0.5);
+  b.TempWrite(0.7);
+  b.Step();
+  b.TempRead(0.7);
+  b.End();
+
+  // Q19: discounted revenue.
+  b.Begin("Q19");
+  b.Step();
+  b.Scan("LINEITEM", 0.8);
+  b.Scan("PART", 0.9);
+  b.End();
+
+  // Q20: potential part promotion.
+  b.Begin("Q20");
+  b.Step();
+  b.Scan("PARTSUPP", 0.7);
+  b.Scan("PART", 0.5);
+  b.IndexScan("I_L_SUPPK_PARTK", 0.5);
+  b.Step();
+  b.Scan("LINEITEM", 0.5);
+  b.End();
+
+  // Q21: suppliers who kept orders waiting.
+  b.Begin("Q21");
+  b.Step();
+  b.Scan("LINEITEM", 0.9);
+  b.Scan("ORDERS", 0.6);
+  b.Scan("SUPPLIER", 1.0);
+  b.Step();
+  b.IndexScan("I_L_ORDERKEY", 0.5);
+  b.Probe("ORDERS_PKEY", 0.2);
+  b.End();
+
+  // Q22: global sales opportunity.
+  b.Begin("Q22");
+  b.Step();
+  b.Scan("CUSTOMER", 1.0);
+  b.IndexScan("ORDERS_PKEY", 0.6);
+  b.End();
+
+  return b.Take();
+}
+
+Result<QueryProfile> TpccTransactionProfile(const Catalog& catalog,
+                                            const std::string& name_prefix) {
+  ProfileBuilder b(catalog, name_prefix);
+  // A NewOrder-dominated transaction mix (nine terminals, no think time):
+  // stock/customer lookups, stock updates, order-line inserts, then a log
+  // force. Request counts are per transaction; offsets are randomized per
+  // instance by the runner.
+  b.Begin("TPCC-NewOrder");
+  // Request counts are the post-buffer-pool I/O of a NewOrder-dominated
+  // mix: upper B-tree levels and hot heap pages are cached, dirty pages
+  // are coalesced by checkpointing, and order-line inserts pack several
+  // rows per page.
+  // Step 1: reads — index probes and heap reads (serial within the
+  // transaction).
+  b.Step(/*depth=*/1);
+  b.Requests("PK_STOCK", 2, 8 * kKiB, AccessPattern::kRandom, 0.0);
+  b.Requests("STOCK", 6, 8 * kKiB, AccessPattern::kRandom, 0.0);
+  b.Requests("PK_CUSTOMER", 1, 8 * kKiB, AccessPattern::kRandom, 0.0);
+  b.Requests("CUSTOMER", 1, 8 * kKiB, AccessPattern::kRandom, 0.0);
+  // Step 2: updates and inserts.
+  b.Step(/*depth=*/1);
+  b.Requests("STOCK", 3, 8 * kKiB, AccessPattern::kRandom, 1.0);
+  b.Requests("CUSTOMER", 1, 8 * kKiB, AccessPattern::kRandom, 1.0);
+  b.Requests("ORDER_LINE", 2, 8 * kKiB, AccessPattern::kAppend, 1.0);
+  b.Requests("ORDERS", 1, 8 * kKiB, AccessPattern::kAppend, 1.0);
+  b.Requests("HISTORY", 1, 8 * kKiB, AccessPattern::kAppend, 1.0);
+  // Step 3: commit — log force.
+  b.Step(/*depth=*/1);
+  b.Requests("XactionLOG", 1, 16 * kKiB, AccessPattern::kAppend, 1.0);
+  b.End();
+
+  auto profiles = b.Take();
+  if (!profiles.ok()) return profiles.status();
+  return std::move((*profiles)[0]);
+}
+
+}  // namespace ldb

@@ -1,0 +1,35 @@
+#ifndef LAYOUTDB_WORKLOAD_TPCH_H_
+#define LAYOUTDB_WORKLOAD_TPCH_H_
+
+#include <vector>
+
+#include "util/status.h"
+#include "workload/catalog.h"
+#include "workload/query.h"
+
+namespace ldb {
+
+/// Builds I/O profiles for the 21 TPC-H benchmark queries used in the
+/// paper's OLAP workloads (Q9 is excluded, as in Section 6.1).
+///
+/// Each profile encodes the query's dominant storage behaviour — which
+/// objects it scans or probes, roughly what fraction of each object hits
+/// storage after buffer caching, join-phase concurrency between streams,
+/// and temp-space spill volume. The profiles are a documented substitution
+/// for running real SQL through PostgreSQL (see DESIGN.md): the advisor
+/// only observes the resulting block-I/O statistics.
+///
+/// \param catalog must be (or start with) Catalog::TpcH objects.
+Result<std::vector<QueryProfile>> TpchQueryProfiles(const Catalog& catalog);
+
+/// Builds the TPC-C NewOrder-dominated transaction profile used by the
+/// paper's OLTP workload (nine terminals, no think time).
+///
+/// \param catalog must be (or start with) Catalog::TpcC objects; pass the
+///   merged catalog with `name_prefix` set for the consolidation scenario.
+Result<QueryProfile> TpccTransactionProfile(const Catalog& catalog,
+                                            const std::string& name_prefix = "");
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_WORKLOAD_TPCH_H_

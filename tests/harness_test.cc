@@ -1,0 +1,123 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/harness.h"
+#include "workload/catalog.h"
+#include "workload/spec.h"
+
+namespace ldb {
+namespace {
+
+constexpr double kScale = 0.02;
+
+const ExperimentRig& SmallRig() {
+  static const ExperimentRig* rig = [] {
+    auto r = ExperimentRig::Create(Catalog::TpcH(kScale),
+                                   {{"d0"}, {"d1"}}, kScale, 3);
+    LDB_CHECK(r.ok());
+    return new ExperimentRig(std::move(r).value());
+  }();
+  return *rig;
+}
+
+TEST(HarnessTest, CreateValidatesInputs) {
+  EXPECT_FALSE(ExperimentRig::Create(Catalog::TpcH(0.02), {}, 0.02).ok());
+  EXPECT_FALSE(
+      ExperimentRig::Create(Catalog::TpcH(0.02), {{"d0"}}, -1.0).ok());
+  EXPECT_FALSE(
+      ExperimentRig::Create(Catalog::TpcH(0.02), {{""}}, 0.02).ok());
+  RigTargetDef bad{"x", 0};
+  EXPECT_FALSE(
+      ExperimentRig::Create(Catalog::TpcH(0.02), {bad}, 0.02).ok());
+}
+
+TEST(HarnessTest, AdvisorTargetsMatchSimulatedSystem) {
+  const ExperimentRig& rig = SmallRig();
+  auto targets = rig.AdvisorTargets();
+  auto system = rig.MakeSystem();
+  ASSERT_EQ(targets.size(), 2u);
+  ASSERT_EQ(system->num_targets(), 2);
+  for (int j = 0; j < 2; ++j) {
+    EXPECT_EQ(targets[static_cast<size_t>(j)].capacity_bytes,
+              system->target(j).capacity_bytes());
+    EXPECT_NE(targets[static_cast<size_t>(j)].cost_model, nullptr);
+  }
+}
+
+TEST(HarnessTest, ExecuteRequiresRegularLayout) {
+  const ExperimentRig& rig = SmallRig();
+  auto olap = MakeOlapSpec(rig.catalog(), 1, 1, 3);
+  ASSERT_TRUE(olap.ok());
+  Layout bad(rig.catalog().num_objects(), 2);
+  for (int i = 0; i < rig.catalog().num_objects(); ++i) {
+    bad.Set(i, 0, 0.3);
+    bad.Set(i, 1, 0.7);
+  }
+  EXPECT_FALSE(rig.Execute(bad, &*olap, nullptr).ok());
+}
+
+TEST(HarnessTest, ExecuteRequiresSomeWorkload) {
+  const ExperimentRig& rig = SmallRig();
+  const Layout see = Layout::StripeEverythingEverywhere(
+      rig.catalog().num_objects(), 2);
+  EXPECT_FALSE(rig.Execute(see, nullptr, nullptr).ok());
+}
+
+TEST(HarnessTest, ExecutionIsDeterministicAcrossFreshSystems) {
+  const ExperimentRig& rig = SmallRig();
+  auto olap = MakeOlapSpec(rig.catalog(), 1, 1, 3);
+  ASSERT_TRUE(olap.ok());
+  const Layout see = Layout::StripeEverythingEverywhere(
+      rig.catalog().num_objects(), 2);
+  auto a = rig.Execute(see, &*olap, nullptr);
+  auto b = rig.Execute(see, &*olap, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->elapsed_seconds, b->elapsed_seconds);
+  EXPECT_EQ(a->total_requests, b->total_requests);
+}
+
+TEST(HarnessTest, FitWorkloadsProducesProblemReadyOutput) {
+  const ExperimentRig& rig = SmallRig();
+  auto olap = MakeOlapSpec(rig.catalog(), 1, 1, 3);
+  ASSERT_TRUE(olap.ok());
+  const Layout see = Layout::StripeEverythingEverywhere(
+      rig.catalog().num_objects(), 2);
+  auto ws = rig.FitWorkloads(see, &*olap, nullptr);
+  ASSERT_TRUE(ws.ok());
+  auto problem = rig.MakeProblem(std::move(ws).value());
+  ASSERT_TRUE(problem.ok());
+  EXPECT_TRUE(problem->Validate().ok());
+  EXPECT_EQ(problem->num_targets(), 2);
+}
+
+TEST(HarnessTest, ScaledDeviceCapacityTracksScale) {
+  auto small = ExperimentRig::Create(Catalog::TpcH(0.02), {{"d"}}, 0.02, 3);
+  auto large = ExperimentRig::Create(Catalog::TpcH(0.04), {{"d"}}, 0.04, 3);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  const int64_t cap_small = small->AdvisorTargets()[0].capacity_bytes;
+  const int64_t cap_large = large->AdvisorTargets()[0].capacity_bytes;
+  EXPECT_NEAR(static_cast<double>(cap_large),
+              2.0 * static_cast<double>(cap_small),
+              static_cast<double>(cap_small) * 0.01);
+}
+
+TEST(HarnessTest, SsdTargetUsesSsdCostModel) {
+  std::vector<RigTargetDef> defs{{"d0"}};
+  defs.push_back(RigTargetDef{"ssd", 1, true, 8 * kGiB});
+  auto rig = ExperimentRig::Create(Catalog::TpcH(kScale), defs, kScale, 3);
+  ASSERT_TRUE(rig.ok());
+  auto targets = rig->AdvisorTargets();
+  ASSERT_EQ(targets.size(), 2u);
+  EXPECT_EQ(targets[0].cost_model->device_model(), "disk-15k");
+  EXPECT_EQ(targets[1].cost_model->device_model(), "ssd");
+  // SSD random reads are much cheaper.
+  EXPECT_LT(targets[1].cost_model->ReadCost(8 * kKiB, 1, 0),
+            0.2 * targets[0].cost_model->ReadCost(8 * kKiB, 1, 0));
+}
+
+}  // namespace
+}  // namespace ldb

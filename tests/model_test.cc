@@ -1,0 +1,458 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/calibration.h"
+#include "model/cost_model.h"
+#include "model/layout.h"
+#include "model/layout_model.h"
+#include "model/target_model.h"
+#include "model/workload.h"
+#include "storage/disk.h"
+#include "storage/ssd.h"
+#include "util/units.h"
+
+namespace ldb {
+namespace {
+
+// ---------------------------------------------------------------- Layout
+
+TEST(LayoutTest, SeeIsValidAndRegular) {
+  Layout l = Layout::StripeEverythingEverywhere(3, 4);
+  EXPECT_TRUE(l.SatisfiesIntegrity());
+  EXPECT_TRUE(l.IsRegular());
+  EXPECT_DOUBLE_EQ(l.At(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(l.RowSum(2), 1.0);
+}
+
+TEST(LayoutTest, IntegrityDetectsBadRows) {
+  Layout l(2, 2);
+  l.Set(0, 0, 0.5);
+  l.Set(0, 1, 0.5);
+  l.Set(1, 0, 0.7);  // row sums to 0.7
+  EXPECT_FALSE(l.SatisfiesIntegrity());
+  l.Set(1, 1, 0.3);
+  EXPECT_TRUE(l.SatisfiesIntegrity());
+}
+
+TEST(LayoutTest, CapacityConstraint) {
+  Layout l(1, 2);
+  l.Set(0, 0, 1.0);
+  std::vector<int64_t> sizes{10 * kGiB};
+  EXPECT_FALSE(l.SatisfiesCapacity(sizes, {5 * kGiB, 50 * kGiB}));
+  EXPECT_TRUE(l.SatisfiesCapacity(sizes, {10 * kGiB, kGiB}));
+  l.Set(0, 0, 0.5);
+  l.Set(0, 1, 0.5);
+  EXPECT_TRUE(l.SatisfiesCapacity(sizes, {5 * kGiB, 5 * kGiB}));
+}
+
+TEST(LayoutTest, RegularityDefinition) {
+  Layout l(2, 3);
+  l.SetRowRegular(0, {0, 2});
+  l.SetRowRegular(1, {1});
+  EXPECT_TRUE(l.IsRegular());
+  EXPECT_EQ(l.TargetsOf(0), (std::vector<int>{0, 2}));
+  EXPECT_EQ(l.TargetsOf(1), (std::vector<int>{1}));
+  // Non-regular: 47/35/18 split (the paper's Section 4.3 example).
+  l.Set(0, 0, 0.47);
+  l.Set(0, 1, 0.35);
+  l.Set(0, 2, 0.18);
+  EXPECT_FALSE(l.IsRegular());
+  EXPECT_TRUE(l.SatisfiesIntegrity());
+}
+
+TEST(LayoutTest, BytesPerTargetRoundsUp) {
+  Layout l(2, 2);
+  l.SetRowRegular(0, {0, 1});
+  l.SetRowRegular(1, {0});
+  const auto bytes = l.BytesPerTarget({kGiB, kMiB});
+  EXPECT_EQ(bytes[0], kGiB / 2 + kMiB);
+  EXPECT_EQ(bytes[1], kGiB / 2);
+}
+
+TEST(LayoutTest, ToStringShowsPercentages) {
+  Layout l(1, 2);
+  l.SetRowRegular(0, {1});
+  const std::string s = l.ToString({"LINEITEM"});
+  EXPECT_NE(s.find("LINEITEM"), std::string::npos);
+  EXPECT_NE(s.find("100%"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- Workload
+
+TEST(WorkloadTest, MeanSizeIsRateWeighted) {
+  WorkloadDesc w;
+  w.read_rate = 30;
+  w.read_size = 8 * kKiB;
+  w.write_rate = 10;
+  w.write_size = 64 * kKiB;
+  EXPECT_DOUBLE_EQ(w.total_rate(), 40);
+  EXPECT_DOUBLE_EQ(w.mean_size(), (30.0 * 8 * kKiB + 10.0 * 64 * kKiB) / 40);
+}
+
+TEST(WorkloadTest, ZeroRateWorkloadHasZeroMeanSize) {
+  WorkloadDesc w;
+  EXPECT_DOUBLE_EQ(w.mean_size(), 0.0);
+}
+
+TEST(WorkloadTest, Validation) {
+  WorkloadDesc w;
+  w.overlap.assign(3, 0.5);
+  EXPECT_TRUE(IsValidWorkload(w, 3));
+  EXPECT_FALSE(IsValidWorkload(w, 4));  // wrong overlap size
+  w.run_count = 0.5;
+  EXPECT_FALSE(IsValidWorkload(w, 3));
+  w.run_count = 1.0;
+  w.read_rate = 5.0;  // rate without size
+  EXPECT_FALSE(IsValidWorkload(w, 3));
+  w.read_size = 8 * kKiB;
+  EXPECT_TRUE(IsValidWorkload(w, 3));
+  w.overlap[1] = 1.5;
+  EXPECT_FALSE(IsValidWorkload(w, 3));
+}
+
+// ----------------------------------------------------------- LayoutModel
+
+TEST(LvmLayoutModelTest, RatesScaleWithFraction) {
+  LvmLayoutModel lm(kMiB);
+  WorkloadDesc w;
+  w.read_rate = 100;
+  w.read_size = 8 * kKiB;
+  w.write_rate = 20;
+  w.write_size = 8 * kKiB;
+  w.run_count = 1;
+  const PerTargetWorkload t = lm.Transform(w, 0.25);
+  EXPECT_DOUBLE_EQ(t.read_rate, 25);
+  EXPECT_DOUBLE_EQ(t.write_rate, 5);
+  EXPECT_DOUBLE_EQ(t.read_size, 8 * kKiB);
+}
+
+TEST(LvmLayoutModelTest, ZeroFractionMeansAbsent) {
+  LvmLayoutModel lm(kMiB);
+  WorkloadDesc w;
+  w.read_rate = 100;
+  w.read_size = 8 * kKiB;
+  const PerTargetWorkload t = lm.Transform(w, 0.0);
+  EXPECT_DOUBLE_EQ(t.total_rate(), 0.0);
+}
+
+TEST(LvmLayoutModelTest, ShortRunsSurviveStriping) {
+  // Q*B = 4*8KiB = 32KiB < 1MiB stripe: the run fits a stripe.
+  LvmLayoutModel lm(kMiB);
+  WorkloadDesc w;
+  w.read_rate = 10;
+  w.read_size = 8 * kKiB;
+  w.run_count = 4;
+  EXPECT_DOUBLE_EQ(lm.Transform(w, 0.5).run_count, 4);
+}
+
+TEST(LvmLayoutModelTest, LongRunsScaleWithFraction) {
+  // Q*B = 1024*64KiB = 64MiB > stripe/L = 2MiB: target sees Q*L.
+  LvmLayoutModel lm(kMiB);
+  WorkloadDesc w;
+  w.read_rate = 10;
+  w.read_size = 64 * kKiB;
+  w.run_count = 1024;
+  EXPECT_DOUBLE_EQ(lm.Transform(w, 0.5).run_count, 512);
+}
+
+TEST(LvmLayoutModelTest, IntermediateRunsCappedByStripe) {
+  // Q*B = 24*8KiB = 192KiB with stripe 256KiB, L = 0.05:
+  // stripe < Q*B ... no: need StripeSize <= Q*B <= StripeSize/L.
+  // Q*B=192KiB < 256KiB -> first case. Pick stripe 128KiB instead:
+  // 128KiB <= 192KiB <= 128KiB/0.05 = 2.5MiB -> capped at stripe/B = 16.
+  LvmLayoutModel lm(128 * kKiB);
+  WorkloadDesc w;
+  w.read_rate = 10;
+  w.read_size = 8 * kKiB;
+  w.run_count = 24;
+  EXPECT_DOUBLE_EQ(lm.Transform(w, 0.05).run_count, 16);
+}
+
+TEST(LvmLayoutModelTest, RunCountNeverBelowOne) {
+  LvmLayoutModel lm(kMiB);
+  WorkloadDesc w;
+  w.read_rate = 10;
+  w.read_size = 2 * kMiB;  // requests bigger than the stripe
+  w.run_count = 1024;
+  EXPECT_GE(lm.Transform(w, 1e-4).run_count, 1.0);
+}
+
+// ------------------------------------------------------------- CostModel
+
+CostModel MakeSyntheticCostModel(double base = 0.005) {
+  // Cost grows with contention, shrinks with run count; reads cost 2x
+  // writes. Axes kept tiny for clarity.
+  std::vector<double> sizes{static_cast<double>(8 * kKiB),
+                            static_cast<double>(64 * kKiB)};
+  std::vector<double> runs{1, 16};
+  std::vector<double> chis{0, 2};
+  std::vector<double> reads, writes;
+  for (double s : sizes) {
+    for (double q : runs) {
+      for (double c : chis) {
+        const double v =
+            base * (s / (8 * kKiB)) * (1.0 + c) / std::sqrt(q);
+        reads.push_back(v);
+        writes.push_back(v / 2);
+      }
+    }
+  }
+  auto m = CostModel::Create("synthetic", sizes, runs, chis, reads, writes);
+  LDB_CHECK(m.ok());
+  return std::move(m).value();
+}
+
+TEST(CostModelTest, ExactAtGridPoints) {
+  CostModel m = MakeSyntheticCostModel();
+  EXPECT_NEAR(m.ReadCost(8 * kKiB, 1, 0), 0.005, 1e-12);
+  EXPECT_NEAR(m.ReadCost(8 * kKiB, 1, 2), 0.015, 1e-12);
+  EXPECT_NEAR(m.ReadCost(64 * kKiB, 16, 0), 0.01, 1e-12);
+  EXPECT_NEAR(m.WriteCost(8 * kKiB, 1, 0), 0.0025, 1e-12);
+}
+
+TEST(CostModelTest, InterpolatesBetweenPoints) {
+  CostModel m = MakeSyntheticCostModel();
+  const double lo = m.ReadCost(8 * kKiB, 1, 0);
+  const double hi = m.ReadCost(8 * kKiB, 1, 2);
+  const double mid = m.ReadCost(8 * kKiB, 1, 1);
+  EXPECT_GT(mid, lo);
+  EXPECT_LT(mid, hi);
+}
+
+TEST(CostModelTest, ClampsOutsideGrid) {
+  CostModel m = MakeSyntheticCostModel();
+  EXPECT_DOUBLE_EQ(m.ReadCost(8 * kKiB, 1, 100), m.ReadCost(8 * kKiB, 1, 2));
+  EXPECT_DOUBLE_EQ(m.ReadCost(4 * kKiB, 1, 0), m.ReadCost(8 * kKiB, 1, 0));
+  EXPECT_DOUBLE_EQ(m.ReadCost(8 * kKiB, 500, 0), m.ReadCost(8 * kKiB, 16, 0));
+}
+
+TEST(CostModelTest, RoundTripsThroughText) {
+  CostModel m = MakeSyntheticCostModel();
+  auto m2 = CostModel::FromText(m.ToText());
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(m2->device_model(), "synthetic");
+  for (double s : {8.0 * kKiB, 20.0 * kKiB, 64.0 * kKiB}) {
+    for (double q : {1.0, 3.0, 16.0}) {
+      for (double c : {0.0, 0.7, 2.0}) {
+        EXPECT_DOUBLE_EQ(m2->ReadCost(s, q, c), m.ReadCost(s, q, c));
+        EXPECT_DOUBLE_EQ(m2->WriteCost(s, q, c), m.WriteCost(s, q, c));
+      }
+    }
+  }
+}
+
+TEST(CostModelTest, RejectsMalformedText) {
+  EXPECT_FALSE(CostModel::FromText("garbage").ok());
+  EXPECT_FALSE(CostModel::FromText("costmodel v1 dev\nsizes 2 1 2\n").ok());
+}
+
+TEST(CostModelTest, RejectsBadInputs) {
+  EXPECT_FALSE(
+      CostModel::Create("", {8192}, {1}, {0}, {0.1}, {0.1}).ok());
+  EXPECT_FALSE(
+      CostModel::Create("d", {-1}, {1}, {0}, {0.1}, {0.1}).ok());
+  EXPECT_FALSE(
+      CostModel::Create("d", {8192}, {0.5}, {0}, {0.1}, {0.1}).ok());
+  EXPECT_FALSE(
+      CostModel::Create("d", {8192}, {1}, {0}, {0.0}, {0.1}).ok());
+  EXPECT_FALSE(
+      CostModel::Create("d", {8192}, {1}, {0}, {0.1, 0.2}, {0.1}).ok());
+}
+
+// ------------------------------------------------------------ TargetModel
+
+WorkloadDesc SimpleWorkload(int n, double rate, double size, double run) {
+  WorkloadDesc w;
+  w.read_rate = rate;
+  w.read_size = size;
+  w.run_count = run;
+  w.overlap.assign(static_cast<size_t>(n), 0.0);
+  return w;
+}
+
+TEST(TargetModelTest, UtilizationIsRateTimesCost) {
+  CostModel cm = MakeSyntheticCostModel();
+  TargetModel tm({{&cm, 1, 64 * kKiB}}, LvmLayoutModel(kMiB));
+  WorkloadSet ws{SimpleWorkload(1, 40.0, 8 * kKiB, 1.0)};
+  Layout l(1, 1);
+  l.Set(0, 0, 1.0);
+  const auto mu = tm.Utilizations(ws, l);
+  EXPECT_NEAR(mu[0], 40.0 * cm.ReadCost(8 * kKiB, 1, 0), 1e-12);
+}
+
+TEST(TargetModelTest, SplitHalvesPerTargetLoad) {
+  CostModel cm = MakeSyntheticCostModel();
+  TargetModel tm({{&cm, 1, 64 * kKiB}, {&cm, 1, 64 * kKiB}},
+                 LvmLayoutModel(kMiB));
+  WorkloadSet ws{SimpleWorkload(1, 40.0, 8 * kKiB, 1.0)};
+  Layout l(1, 2);
+  l.SetRowRegular(0, {0, 1});
+  const auto mu = tm.Utilizations(ws, l);
+  EXPECT_NEAR(mu[0], 20.0 * cm.ReadCost(8 * kKiB, 1, 0), 1e-12);
+  EXPECT_NEAR(mu[1], mu[0], 1e-12);
+}
+
+TEST(TargetModelTest, OverlappingCoLocatedObjectsInterfere) {
+  CostModel cm = MakeSyntheticCostModel();
+  TargetModel tm({{&cm, 1, 64 * kKiB}, {&cm, 1, 64 * kKiB}},
+                 LvmLayoutModel(kMiB));
+  WorkloadSet ws{SimpleWorkload(2, 40.0, 8 * kKiB, 1.0),
+                 SimpleWorkload(2, 40.0, 8 * kKiB, 1.0)};
+  ws[0].overlap[1] = 1.0;
+  ws[1].overlap[0] = 1.0;
+
+  Layout together(2, 2);
+  together.SetRowRegular(0, {0});
+  together.SetRowRegular(1, {0});
+  Layout apart(2, 2);
+  apart.SetRowRegular(0, {0});
+  apart.SetRowRegular(1, {1});
+
+  const double mu_together = tm.Utilizations(ws, together)[0];
+  const auto mu_apart = tm.Utilizations(ws, apart);
+  // Co-located overlapping workloads pay contention (χ=1 each):
+  EXPECT_GT(mu_together, 2 * mu_apart[0]);
+  EXPECT_NEAR(mu_apart[0], 40.0 * cm.ReadCost(8 * kKiB, 1, 0), 1e-12);
+}
+
+TEST(TargetModelTest, NonOverlappingObjectsDoNotInterfere) {
+  CostModel cm = MakeSyntheticCostModel();
+  TargetModel tm({{&cm, 1, 64 * kKiB}}, LvmLayoutModel(kMiB));
+  WorkloadSet ws{SimpleWorkload(2, 40.0, 8 * kKiB, 1.0),
+                 SimpleWorkload(2, 40.0, 8 * kKiB, 1.0)};
+  Layout l(2, 1);
+  l.SetRowRegular(0, {0});
+  l.SetRowRegular(1, {0});
+  const auto mu = tm.Utilizations(ws, l);
+  // χ = 0 for both: total is exactly the sum of isolated loads.
+  EXPECT_NEAR(mu[0], 2 * 40.0 * cm.ReadCost(8 * kKiB, 1, 0), 1e-12);
+}
+
+TEST(TargetModelTest, MoreMembersLowerUtilization) {
+  CostModel cm = MakeSyntheticCostModel();
+  TargetModel tm({{&cm, 1, 64 * kKiB}, {&cm, 3, 64 * kKiB}},
+                 LvmLayoutModel(kMiB));
+  WorkloadSet ws{SimpleWorkload(1, 40.0, 8 * kKiB, 1.0)};
+  Layout on_single(1, 2), on_raid(1, 2);
+  on_single.SetRowRegular(0, {0});
+  on_raid.SetRowRegular(0, {1});
+  EXPECT_GT(tm.Utilizations(ws, on_single)[0],
+            2.5 * tm.Utilizations(ws, on_raid)[1]);
+}
+
+TEST(TargetModelTest, PerObjectBreakdownSumsToTotal) {
+  CostModel cm = MakeSyntheticCostModel();
+  TargetModel tm({{&cm, 1, 64 * kKiB}, {&cm, 1, 64 * kKiB}},
+                 LvmLayoutModel(kMiB));
+  WorkloadSet ws{SimpleWorkload(3, 40.0, 8 * kKiB, 1.0),
+                 SimpleWorkload(3, 10.0, 64 * kKiB, 8.0),
+                 SimpleWorkload(3, 5.0, 8 * kKiB, 1.0)};
+  ws[0].overlap[1] = ws[1].overlap[0] = 0.5;
+  Layout l = Layout::StripeEverythingEverywhere(3, 2);
+  std::vector<double> mu_ij;
+  const auto mu = tm.Utilizations(ws, l, &mu_ij);
+  for (int j = 0; j < 2; ++j) {
+    double sum = 0;
+    for (int i = 0; i < 3; ++i) sum += mu_ij[static_cast<size_t>(i) * 2 + j];
+    EXPECT_NEAR(sum, mu[static_cast<size_t>(j)], 1e-12);
+  }
+}
+
+TEST(TargetModelTest, TargetUtilizationMatchesFullComputation) {
+  CostModel cm = MakeSyntheticCostModel();
+  TargetModel tm({{&cm, 1, 64 * kKiB}, {&cm, 2, 64 * kKiB}},
+                 LvmLayoutModel(kMiB));
+  WorkloadSet ws{SimpleWorkload(2, 40.0, 8 * kKiB, 1.0),
+                 SimpleWorkload(2, 10.0, 64 * kKiB, 16.0)};
+  ws[0].overlap[1] = ws[1].overlap[0] = 1.0;
+  Layout l(2, 2);
+  l.Set(0, 0, 0.3);
+  l.Set(0, 1, 0.7);
+  l.Set(1, 0, 0.6);
+  l.Set(1, 1, 0.4);
+  const auto mu = tm.Utilizations(ws, l);
+  EXPECT_NEAR(tm.TargetUtilization(ws, l, 0), mu[0], 1e-12);
+  EXPECT_NEAR(tm.TargetUtilization(ws, l, 1), mu[1], 1e-12);
+  EXPECT_NEAR(tm.MaxUtilization(ws, l), std::max(mu[0], mu[1]), 1e-12);
+}
+
+// ------------------------------------------------------------ Calibration
+
+CalibrationOptions FastCalibration() {
+  CalibrationOptions opts;
+  opts.size_axis = {static_cast<double>(8 * kKiB),
+                    static_cast<double>(64 * kKiB)};
+  opts.run_axis = {1, 8, 64};
+  opts.contention_axis = {0, 1, 2, 4};
+  opts.sample_requests = 160;
+  opts.warmup_requests = 16;
+  return opts;
+}
+
+TEST(CalibrationTest, DiskSequentialCheaperThanRandom) {
+  DiskModel disk(Scsi15kParams());
+  auto cm = CalibrateDevice(disk, FastCalibration());
+  ASSERT_TRUE(cm.ok());
+  EXPECT_LT(cm->ReadCost(8 * kKiB, 64, 0) * 5, cm->ReadCost(8 * kKiB, 1, 0));
+}
+
+TEST(CalibrationTest, SequentialAdvantageCollapsesNearChiTwo) {
+  // The Figure 8 effect: sequential requests stay cheap under light
+  // contention but collapse once the contention factor reaches ~2 (the
+  // drive tracks two streams).
+  DiskModel disk(Scsi15kParams());
+  auto cm = CalibrateDevice(disk, FastCalibration());
+  ASSERT_TRUE(cm.ok());
+  const double seq0 = cm->ReadCost(8 * kKiB, 64, 0);
+  const double seq2 = cm->ReadCost(8 * kKiB, 64, 2);
+  const double rnd2 = cm->ReadCost(8 * kKiB, 1, 2);
+  EXPECT_GT(seq2, 4 * seq0);        // collapse happened
+  EXPECT_LT(seq2, rnd2 * 1.5);      // ... roughly to random cost
+}
+
+TEST(CalibrationTest, RandomCostDecreasesWithContention) {
+  // Deeper queues let the SCAN-like scheduler shorten seeks.
+  DiskModel disk(Scsi15kParams());
+  auto cm = CalibrateDevice(disk, FastCalibration());
+  ASSERT_TRUE(cm.ok());
+  EXPECT_LT(cm->ReadCost(8 * kKiB, 1, 4), cm->ReadCost(8 * kKiB, 1, 0));
+}
+
+TEST(CalibrationTest, SsdInsensitiveToRunAndContention) {
+  SsdModel ssd(SsdParams{});
+  auto cm = CalibrateDevice(ssd, FastCalibration());
+  ASSERT_TRUE(cm.ok());
+  const double base = cm->ReadCost(8 * kKiB, 1, 0);
+  EXPECT_NEAR(cm->ReadCost(8 * kKiB, 64, 0), base, base * 0.01);
+  EXPECT_NEAR(cm->ReadCost(8 * kKiB, 1, 4), base, base * 0.01);
+}
+
+TEST(CalibrationTest, LargerRequestsCostMore) {
+  DiskModel disk(Scsi15kParams());
+  auto cm = CalibrateDevice(disk, FastCalibration());
+  ASSERT_TRUE(cm.ok());
+  EXPECT_GT(cm->ReadCost(64 * kKiB, 1, 0), cm->ReadCost(8 * kKiB, 1, 0));
+}
+
+TEST(CalibrationTest, RegistryCalibratesEachModelOnce) {
+  DiskModel d1(Scsi15kParams()), d2(Scsi15kParams());
+  SsdModel s(SsdParams{});
+  auto reg =
+      CostModelRegistry::ForDevices({&d1, &d2, &s}, FastCalibration());
+  ASSERT_TRUE(reg.ok());
+  EXPECT_NE(reg->Find("disk-15k"), nullptr);
+  EXPECT_NE(reg->Find("ssd"), nullptr);
+  EXPECT_EQ(reg->Find("nope"), nullptr);
+}
+
+TEST(CalibrationTest, RejectsEmptyAxes) {
+  DiskModel disk(Scsi15kParams());
+  CalibrationOptions opts = FastCalibration();
+  opts.run_axis.clear();
+  EXPECT_FALSE(CalibrateDevice(disk, opts).ok());
+}
+
+}  // namespace
+}  // namespace ldb

@@ -1,0 +1,170 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/problem_io.h"
+#include "util/units.h"
+
+namespace ldb {
+namespace {
+
+// A minimal valid problem, used as the base for mutations.
+const char kSample[] = R"(
+# comment line
+lvm_stripe 64KiB
+device d builtin:ssd
+target t0 d capacity 8GiB
+target t1 d capacity 8GiB members 2 stripe 128KiB
+object A table 1GiB
+object B index 512MiB
+workload A read_rate 100 read_size 64KiB write_rate 10 write_size 8KiB run_count 50
+workload B read_rate 20 read_size 8KiB write_rate 0 write_size 0 run_count 1
+overlap A B 0.7
+self_overlap A 2.5
+pin B t1
+separate A B
+)";
+
+TEST(ProblemIoTest, ParsesCompleteFile) {
+  auto loaded = ParseProblemText(kSample);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const LayoutProblem& p = loaded->problem;
+  EXPECT_EQ(p.num_objects(), 2);
+  EXPECT_EQ(p.num_targets(), 2);
+  EXPECT_EQ(p.lvm_stripe_bytes, 64 * kKiB);
+  EXPECT_EQ(p.object_names[0], "A");
+  EXPECT_EQ(p.object_kinds[1], ObjectKind::kIndex);
+  EXPECT_EQ(p.object_sizes[0], kGiB);
+  EXPECT_EQ(p.object_sizes[1], 512 * kMiB);
+  EXPECT_DOUBLE_EQ(p.workloads[0].read_rate, 100);
+  EXPECT_DOUBLE_EQ(p.workloads[0].read_size, 64 * kKiB);
+  EXPECT_DOUBLE_EQ(p.workloads[0].overlap[1], 0.7);
+  EXPECT_DOUBLE_EQ(p.workloads[1].overlap[0], 0.7);  // symmetric
+  EXPECT_DOUBLE_EQ(p.workloads[0].overlap[0], 2.5);  // self
+  EXPECT_EQ(p.targets[1].num_members, 2);
+  EXPECT_EQ(p.targets[1].stripe_bytes, 128 * kKiB);
+  EXPECT_EQ(p.constraints.AllowedFor(1), (std::vector<int>{1}));
+  EXPECT_TRUE(p.constraints.AllowedFor(0).empty());
+  ASSERT_EQ(p.constraints.separate.size(), 1u);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(ProblemIoTest, SharesOneCalibrationPerBuiltinModel) {
+  const std::string text = std::string(kSample) + "device d2 builtin:ssd\n";
+  auto loaded = ParseProblemText(text);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->owned_models.size(), 1u);  // d and d2 share "ssd"
+}
+
+TEST(ProblemIoTest, ReportsLineNumbersOnErrors) {
+  auto r = ParseProblemText("lvm_stripe 64KiB\nbogus directive\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ProblemIoTest, RejectsUnknownReferences) {
+  EXPECT_FALSE(ParseProblemText("target t0 nodev capacity 1GiB\n").ok());
+  EXPECT_FALSE(ParseProblemText("device d builtin:warp-drive\n").ok());
+  const std::string base =
+      "device d builtin:ssd\ntarget t0 d capacity 8GiB\n"
+      "object A table 1GiB\n"
+      "workload A read_rate 1 read_size 8KiB write_rate 0 write_size 0 "
+      "run_count 1\n";
+  EXPECT_FALSE(ParseProblemText(base + "overlap A NOPE 0.5\n").ok());
+  EXPECT_FALSE(ParseProblemText(base + "pin A t9\n").ok());
+  EXPECT_FALSE(ParseProblemText(base + "separate A Z\n").ok());
+}
+
+TEST(ProblemIoTest, RejectsDuplicatesAndBadSizes) {
+  EXPECT_FALSE(
+      ParseProblemText("device d builtin:ssd\ndevice d builtin:ssd\n").ok());
+  EXPECT_FALSE(ParseProblemText("lvm_stripe -3\n").ok());
+  EXPECT_FALSE(ParseProblemText("lvm_stripe 64QiB\n").ok());
+  const std::string dup =
+      "device d builtin:ssd\ntarget t0 d capacity 8GiB\n"
+      "object A table 1GiB\nobject A table 1GiB\n";
+  EXPECT_FALSE(ParseProblemText(dup).ok());
+}
+
+TEST(ProblemIoTest, ValidatesFinalProblem) {
+  // Objects exceed total capacity: Validate() must reject.
+  const char text[] = R"(
+device d builtin:ssd
+target t0 d capacity 1GiB
+object A table 4GiB
+workload A read_rate 1 read_size 8KiB write_rate 0 write_size 0 run_count 1
+)";
+  auto r = ParseProblemText(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(ProblemIoTest, LoadProblemFileMissingPath) {
+  EXPECT_FALSE(LoadProblemFile("/no/such/file.txt").ok());
+}
+
+TEST(ProblemIoTest, EndToEndAdvisorRunOnParsedProblem) {
+  auto loaded = ParseProblemText(kSample);
+  ASSERT_TRUE(loaded.ok());
+  LayoutAdvisor advisor;
+  auto rec = advisor.Recommend(loaded->problem);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(loaded->problem.constraints.SatisfiedBy(rec->final_layout));
+  const std::string report =
+      FormatAdvisorReport(loaded->problem, *rec);
+  EXPECT_NE(report.find("Recommended layout"), std::string::npos);
+  EXPECT_NE(report.find("A"), std::string::npos);
+}
+
+
+TEST(ProblemIoTest, FormatProblemTextRoundTrips) {
+  auto loaded = ParseProblemText(kSample);
+  ASSERT_TRUE(loaded.ok());
+  const std::string text = FormatProblemText(loaded->problem);
+  auto reloaded = ParseProblemText(text);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString() << "\n" << text;
+  const LayoutProblem& a = loaded->problem;
+  const LayoutProblem& b = reloaded->problem;
+  ASSERT_EQ(a.num_objects(), b.num_objects());
+  ASSERT_EQ(a.num_targets(), b.num_targets());
+  EXPECT_EQ(a.lvm_stripe_bytes, b.lvm_stripe_bytes);
+  for (int i = 0; i < a.num_objects(); ++i) {
+    EXPECT_EQ(a.object_names[static_cast<size_t>(i)],
+              b.object_names[static_cast<size_t>(i)]);
+    EXPECT_EQ(a.object_sizes[static_cast<size_t>(i)],
+              b.object_sizes[static_cast<size_t>(i)]);
+    EXPECT_EQ(a.object_kinds[static_cast<size_t>(i)],
+              b.object_kinds[static_cast<size_t>(i)]);
+    const WorkloadDesc& wa = a.workloads[static_cast<size_t>(i)];
+    const WorkloadDesc& wb = b.workloads[static_cast<size_t>(i)];
+    EXPECT_NEAR(wa.read_rate, wb.read_rate, 1e-6);
+    EXPECT_NEAR(wa.write_rate, wb.write_rate, 1e-6);
+    EXPECT_NEAR(wa.run_count, wb.run_count, 1e-6);
+    for (int k = 0; k < a.num_objects(); ++k) {
+      EXPECT_NEAR(wa.overlap[static_cast<size_t>(k)],
+                  wb.overlap[static_cast<size_t>(k)], 1e-6)
+          << i << "," << k;
+    }
+  }
+  for (int j = 0; j < a.num_targets(); ++j) {
+    EXPECT_EQ(a.targets[static_cast<size_t>(j)].capacity_bytes,
+              b.targets[static_cast<size_t>(j)].capacity_bytes);
+    EXPECT_EQ(a.targets[static_cast<size_t>(j)].num_members,
+              b.targets[static_cast<size_t>(j)].num_members);
+  }
+  EXPECT_EQ(a.constraints.allowed_targets, b.constraints.allowed_targets);
+  EXPECT_EQ(a.constraints.separate, b.constraints.separate);
+}
+
+TEST(ProblemIoTest, FormatSanitizesSpacesInNames) {
+  auto loaded = ParseProblemText(kSample);
+  ASSERT_TRUE(loaded.ok());
+  loaded->problem.object_names[0] = "TEMP SPACE";
+  const std::string text = FormatProblemText(loaded->problem);
+  EXPECT_EQ(text.find("TEMP SPACE"), std::string::npos);
+  EXPECT_NE(text.find("TEMP_SPACE"), std::string::npos);
+  EXPECT_TRUE(ParseProblemText(text).ok());
+}
+
+}  // namespace
+}  // namespace ldb

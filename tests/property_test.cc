@@ -1,0 +1,380 @@
+// Property-based tests: invariants checked over parameter sweeps
+// (gtest TEST_P). These complement the example-based unit tests by
+// exercising each component across its input space.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/layout.h"
+#include "model/layout_model.h"
+#include "solver/projected_gradient.h"
+#include "solver/simplex.h"
+#include "storage/disk.h"
+#include "storage/lvm.h"
+#include "trace/analyzer.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace ldb {
+namespace {
+
+// ------------------------------------------------- simplex projection
+
+class SimplexProperty
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(SimplexProperty, ProjectionInvariants) {
+  const int dim = std::get<0>(GetParam());
+  Rng rng(std::get<1>(GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> v(static_cast<size_t>(dim));
+    for (auto& x : v) x = rng.Uniform(-3, 3);
+    const std::vector<double> original = v;
+    ProjectToSimplex(v.data(), v.size());
+
+    // On the simplex.
+    double sum = 0;
+    for (double x : v) {
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+
+    // Idempotent.
+    std::vector<double> again = v;
+    ProjectToSimplex(again.data(), again.size());
+    for (size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(again[i], v[i], 1e-9);
+
+    // No sampled feasible point is closer to the original (projection
+    // minimizes Euclidean distance).
+    auto dist2 = [&](const std::vector<double>& p) {
+      double d = 0;
+      for (size_t i = 0; i < p.size(); ++i) {
+        d += (p[i] - original[i]) * (p[i] - original[i]);
+      }
+      return d;
+    };
+    const double proj_dist = dist2(v);
+    for (int s = 0; s < 20; ++s) {
+      std::vector<double> q(static_cast<size_t>(dim));
+      for (auto& x : q) x = rng.Uniform(0, 1);
+      ProjectToSimplex(q.data(), q.size());  // a feasible point
+      EXPECT_LE(proj_dist, dist2(q) + 1e-9);
+    }
+
+    // Order-preserving: if original[i] >= original[j], then v[i] >= v[j].
+    for (size_t i = 0; i < v.size(); ++i) {
+      for (size_t j = 0; j < v.size(); ++j) {
+        if (original[i] >= original[j]) {
+          EXPECT_GE(v[i], v[j] - 1e-9);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, SimplexProperty,
+    ::testing::Combine(::testing::Values(2, 3, 4, 8, 40),
+                       ::testing::Values(uint64_t{1}, uint64_t{99})));
+
+// ------------------------------------------------- LVM mapping
+
+class LvmProperty
+    : public ::testing::TestWithParam<std::tuple<int64_t, int>> {};
+
+TEST_P(LvmProperty, EveryByteMapsExactlyOnceAndNothingOverlaps) {
+  const int64_t stripe = std::get<0>(GetParam());
+  const int num_targets = std::get<1>(GetParam());
+  // Three objects with sizes that are not stripe multiples.
+  const std::vector<int64_t> sizes{5 * stripe + 100, 2 * stripe,
+                                   3 * stripe - 7};
+  std::vector<std::vector<int>> placements;
+  std::vector<int> all(static_cast<size_t>(num_targets));
+  std::iota(all.begin(), all.end(), 0);
+  placements.push_back(all);
+  placements.push_back({0});
+  placements.push_back(num_targets > 1 ? std::vector<int>{1, 0}
+                                       : std::vector<int>{0});
+  auto mgr = StripedVolumeManager::Create(
+      sizes, placements,
+      std::vector<int64_t>(static_cast<size_t>(num_targets), kGiB), stripe);
+  ASSERT_TRUE(mgr.ok());
+
+  // Collect every mapped byte range per target; verify disjointness and
+  // total coverage.
+  struct Range {
+    int64_t lo, hi;
+    int object;
+  };
+  std::vector<std::vector<Range>> per_target(
+      static_cast<size_t>(num_targets));
+  std::vector<TargetChunk> chunks;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    int64_t mapped = 0;
+    // Map in odd-sized pieces to exercise splitting.
+    const int64_t piece = stripe / 2 + 13;
+    for (int64_t off = 0; off < sizes[i]; off += piece) {
+      const int64_t len = std::min(piece, sizes[i] - off);
+      chunks.clear();
+      mgr->Map(static_cast<ObjectId>(i), off, len, &chunks);
+      int64_t chunk_total = 0;
+      for (const TargetChunk& c : chunks) {
+        chunk_total += c.size;
+        per_target[static_cast<size_t>(c.target)].push_back(
+            Range{c.offset, c.offset + c.size, static_cast<int>(i)});
+      }
+      EXPECT_EQ(chunk_total, len);
+      mapped += len;
+    }
+    EXPECT_EQ(mapped, sizes[i]);
+  }
+  for (auto& ranges : per_target) {
+    std::sort(ranges.begin(), ranges.end(),
+              [](const Range& a, const Range& b) { return a.lo < b.lo; });
+    for (size_t r = 1; r < ranges.size(); ++r) {
+      EXPECT_LE(ranges[r - 1].hi, ranges[r].lo)
+          << "overlap between objects " << ranges[r - 1].object << " and "
+          << ranges[r].object;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StripesAndTargets, LvmProperty,
+    ::testing::Combine(::testing::Values(int64_t{64} * kKiB, kMiB),
+                       ::testing::Values(1, 2, 4)));
+
+// ------------------------------------------------- disk model
+
+class DiskProperty : public ::testing::TestWithParam<DiskParams> {};
+
+TEST_P(DiskProperty, ServiceTimeInvariants) {
+  DiskModel disk(GetParam());
+  Rng rng(3);
+  const int64_t cap = disk.capacity_bytes();
+  // Sequential run is never slower than random access at the same size.
+  for (int64_t size : {int64_t{8} * kKiB, int64_t{64} * kKiB}) {
+    DiskModel seq(GetParam());
+    seq.ServiceTime({0, size, false});
+    double seq_total = 0;
+    for (int r = 1; r <= 16; ++r) seq_total += seq.ServiceTime({r * size, size, false});
+    DiskModel rnd(GetParam());
+    rnd.ServiceTime({0, size, false});
+    double rnd_total = 0;
+    for (int r = 0; r < 16; ++r) {
+      const int64_t off =
+          rng.UniformInt(int64_t{0}, (cap - size) / size) * size;
+      rnd_total += rnd.ServiceTime({off, size, false});
+    }
+    EXPECT_LT(seq_total, rnd_total);
+  }
+  // All service times positive and bounded by a full stroke + rotation +
+  // transfer.
+  DiskModel d(GetParam());
+  for (int t = 0; t < 200; ++t) {
+    const int64_t size = 8 * kKiB;
+    const int64_t off = rng.UniformInt(int64_t{0}, (cap - size) / size) * size;
+    const double s = d.ServiceTime({off, size, rng.Bernoulli(0.3)});
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, GetParam().max_seek_s + 60.0 / GetParam().rpm + 0.1);
+  }
+  // Seek time is monotone in distance.
+  double prev = -1;
+  for (int64_t frac = 1; frac <= 16; ++frac) {
+    const double t = d.SeekTime(cap / 16 * frac);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Drives, DiskProperty,
+                         ::testing::Values(Scsi15kParams(),
+                                           Nearline7200Params()));
+
+// ------------------------------------------------- layout model (Fig. 7)
+
+class LayoutModelProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(LayoutModelProperty, TransformConservesRatesAndBoundsRuns) {
+  const double q = GetParam();  // object run count
+  LvmLayoutModel lm(64 * kKiB);
+  WorkloadDesc w;
+  w.read_rate = 100;
+  w.read_size = 32 * kKiB;
+  w.write_rate = 25;
+  w.write_size = 8 * kKiB;
+  w.run_count = q;
+  for (int parts : {1, 2, 3, 4, 8}) {
+    const double fraction = 1.0 / parts;
+    double read_sum = 0, write_sum = 0;
+    for (int p = 0; p < parts; ++p) {
+      const PerTargetWorkload t = lm.Transform(w, fraction);
+      read_sum += t.read_rate;
+      write_sum += t.write_rate;
+      // Per-target run count within [1, Q_i].
+      EXPECT_GE(t.run_count, 1.0);
+      EXPECT_LE(t.run_count, std::max(1.0, q) + 1e-9);
+      // Request sizes unchanged by striping.
+      EXPECT_DOUBLE_EQ(t.read_size, w.read_size);
+      EXPECT_DOUBLE_EQ(t.write_size, w.write_size);
+    }
+    // Rates are conserved across the stripes.
+    EXPECT_NEAR(read_sum, w.read_rate, 1e-9);
+    EXPECT_NEAR(write_sum, w.write_rate, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RunCounts, LayoutModelProperty,
+                         ::testing::Values(1.0, 2.0, 7.5, 64.0, 1000.0));
+
+// ------------------------------------------------- solver on random problems
+
+class SolverProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverProperty, NeverWorseThanSeedAndAlwaysFeasible) {
+  Rng rng(GetParam());
+  const int n = 3 + static_cast<int>(rng.UniformInt(uint64_t{5}));
+  const int m = 2 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+  std::vector<double> rates(static_cast<size_t>(n));
+  std::vector<double> speeds(static_cast<size_t>(m));
+  for (auto& r : rates) r = rng.Uniform(1, 50);
+  for (auto& s : speeds) s = rng.Uniform(0.5, 4);
+
+  LayoutNlpProblem p;
+  p.num_objects = n;
+  p.num_targets = m;
+  p.object_sizes.assign(static_cast<size_t>(n), kGiB);
+  p.target_capacities.assign(static_cast<size_t>(m), 50 * kGiB);
+  p.target_utilization = [rates, speeds](const Layout& l, int j) {
+    double load = 0;
+    for (int i = 0; i < l.num_objects(); ++i) {
+      load += rates[static_cast<size_t>(i)] * l.At(i, j);
+    }
+    return load / speeds[static_cast<size_t>(j)];
+  };
+
+  // Random simplex seed.
+  Layout seed(n, m);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) seed.Set(i, j, rng.Uniform(0, 1));
+    ProjectToSimplex(seed.Row(i), static_cast<size_t>(m));
+  }
+  double seed_max = 0;
+  for (int j = 0; j < m; ++j) {
+    seed_max = std::max(seed_max, p.target_utilization(seed, j));
+  }
+
+  SolverOptions fast;
+  fast.annealing_rounds = 3;
+  fast.max_iterations_per_round = 25;
+  ProjectedGradientSolver solver(fast);
+  auto r = solver.Solve(p, seed);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->feasible);
+  EXPECT_TRUE(r->layout.SatisfiesIntegrity(1e-6));
+  EXPECT_LE(r->max_utilization, seed_max + 1e-6);
+  // The theoretical optimum spreads total weighted load over total speed.
+  const double ideal = std::accumulate(rates.begin(), rates.end(), 0.0) /
+                       std::accumulate(speeds.begin(), speeds.end(), 0.0);
+  EXPECT_GE(r->max_utilization, ideal - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverProperty,
+                         ::testing::Range(uint64_t{10}, uint64_t{20}));
+
+// ------------------------------------------------- analyzer round trip
+
+struct SyntheticWorkload {
+  double rate;        // requests/s
+  int64_t size;       // request bytes
+  int run_length;     // requests per sequential run
+  double write_frac;  // fraction of writes
+};
+
+class AnalyzerRoundTrip
+    : public ::testing::TestWithParam<SyntheticWorkload> {};
+
+TEST_P(AnalyzerRoundTrip, RecoversKnownParameters) {
+  const SyntheticWorkload& spec = GetParam();
+  Rng rng(11);
+  IoTrace trace;
+  const int total = 3000;
+  double now = 0;
+  int64_t offset = 0;
+  int in_run = 0;
+  for (int r = 0; r < total; ++r) {
+    if (in_run >= spec.run_length) {
+      offset = rng.UniformInt(int64_t{0}, int64_t{10000}) * spec.size * 50;
+      in_run = 0;
+    }
+    IoEvent ev;
+    ev.submit_time = now;
+    ev.complete_time = now + 0.002;
+    ev.seq = static_cast<uint64_t>(r);
+    ev.object = 0;
+    ev.logical_offset = offset;
+    ev.offset = offset;
+    ev.size = spec.size;
+    ev.is_write = rng.Bernoulli(spec.write_frac);
+    trace.Add(ev);
+    offset += spec.size;
+    ++in_run;
+    now += 1.0 / spec.rate;
+  }
+  TraceAnalyzer analyzer;
+  auto ws = analyzer.Analyze(trace, 1);
+  ASSERT_TRUE(ws.ok());
+  const WorkloadDesc& w = (*ws)[0];
+  EXPECT_NEAR(w.total_rate(), spec.rate, 0.05 * spec.rate);
+  EXPECT_NEAR(w.run_count, spec.run_length,
+              std::max(1.0, 0.1 * spec.run_length));
+  EXPECT_NEAR(w.write_rate / std::max(1e-9, w.total_rate()),
+              spec.write_frac, 0.05);
+  EXPECT_DOUBLE_EQ(w.mean_size(), static_cast<double>(spec.size));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AnalyzerRoundTrip,
+    ::testing::Values(SyntheticWorkload{200, 8 * kKiB, 1, 0.0},
+                      SyntheticWorkload{500, 64 * kKiB, 25, 0.0},
+                      SyntheticWorkload{100, 16 * kKiB, 100, 0.5},
+                      SyntheticWorkload{50, 128 * kKiB, 8, 1.0}));
+
+// ------------------------------------------------- layout regularity
+
+class LayoutRegularityProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(LayoutRegularityProperty, SetRowRegularAlwaysRegularAndComplete) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 1 + static_cast<int>(rng.UniformInt(uint64_t{6}));
+    const int m = 1 + static_cast<int>(rng.UniformInt(uint64_t{6}));
+    Layout l(n, m);
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> targets;
+      for (int j = 0; j < m; ++j) {
+        if (rng.Bernoulli(0.5)) targets.push_back(j);
+      }
+      if (targets.empty()) targets.push_back(static_cast<int>(
+          rng.UniformInt(static_cast<uint64_t>(m))));
+      l.SetRowRegular(i, targets);
+      EXPECT_EQ(l.TargetsOf(i), targets);
+    }
+    EXPECT_TRUE(l.IsRegular(1e-12));
+    EXPECT_TRUE(l.SatisfiesIntegrity(1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayoutRegularityProperty,
+                         ::testing::Values(uint64_t{1}, uint64_t{2},
+                                           uint64_t{3}));
+
+}  // namespace
+}  // namespace ldb

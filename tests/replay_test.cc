@@ -1,0 +1,166 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "core/harness.h"
+#include "storage/disk.h"
+#include "trace/replay.h"
+#include "workload/catalog.h"
+#include "workload/runner.h"
+#include "workload/spec.h"
+
+namespace ldb {
+namespace {
+
+constexpr double kScale = 0.02;
+
+struct Recorded {
+  IoTrace trace;
+  LayoutProblem problem;
+  // Owns the cost models the problem's targets reference.
+  std::shared_ptr<ExperimentRig> rig;
+};
+
+/// Records an object-level OLAP1-21 trace under SEE and fits the problem.
+const Recorded& RecordedTrace() {
+  static const Recorded* recorded = [] {
+    auto created = ExperimentRig::Create(Catalog::TpcH(kScale),
+                                         {{"d0"}, {"d1"}, {"d2"}, {"d3"}},
+                                         kScale, 3);
+    LDB_CHECK(created.ok());
+    auto rig = std::make_shared<ExperimentRig>(std::move(created).value());
+    auto olap = MakeOlapSpec(rig->catalog(), 1, 1, 3);
+    LDB_CHECK(olap.ok());
+    const Layout see = Layout::StripeEverythingEverywhere(
+        rig->catalog().num_objects(), 4);
+    auto ws = rig->FitWorkloads(see, &*olap, nullptr);
+    LDB_CHECK(ws.ok());
+    auto problem = rig->MakeProblem(std::move(ws).value());
+    LDB_CHECK(problem.ok());
+
+    // Record the logical trace of the same run.
+    auto system = rig->MakeSystem();
+    std::vector<std::vector<int>> placements(
+        static_cast<size_t>(rig->catalog().num_objects()),
+        std::vector<int>{0, 1, 2, 3});
+    auto volumes = StripedVolumeManager::Create(
+        rig->catalog().sizes(), placements, system->capacities(), 64 * kKiB);
+    LDB_CHECK(volumes.ok());
+    auto* out = new Recorded{IoTrace{}, std::move(problem).value(), rig};
+    WorkloadRunner runner(system.get(), &*volumes, 3);
+    runner.set_logical_observer(
+        [out](const IoEvent& ev) { out->trace.Add(ev); });
+    LDB_CHECK(runner.RunOlap(*olap).ok());
+    return out;
+  }();
+  return *recorded;
+}
+
+std::unique_ptr<StorageSystem> FourDisks(double scale) {
+  DiskParams params = Scsi15kParams();
+  params.capacity_bytes =
+      static_cast<int64_t>(params.capacity_bytes * scale);
+  DiskModel proto(params);
+  std::vector<TargetSpec> specs;
+  for (int j = 0; j < 4; ++j) {
+    TargetSpec s;
+    s.name = "d";
+    s.prototype = &proto;
+    specs.push_back(s);
+  }
+  return std::make_unique<StorageSystem>(specs);
+}
+
+Result<StripedVolumeManager> VolumesFor(const Layout& layout,
+                                        const LayoutProblem& problem,
+                                        const StorageSystem& system) {
+  std::vector<std::vector<int>> placements;
+  for (int i = 0; i < problem.num_objects(); ++i) {
+    placements.push_back(layout.TargetsOf(i));
+  }
+  return StripedVolumeManager::Create(problem.object_sizes, placements,
+                                      system.capacities(), 64 * kKiB);
+}
+
+TEST(ReplayTest, RejectsBadInputs) {
+  auto system = FourDisks(kScale);
+  IoTrace empty;
+  EXPECT_FALSE(ReplayTrace(empty, system.get(), nullptr).ok());
+  const Recorded& rec = RecordedTrace();
+  const Layout see = Layout::StripeEverythingEverywhere(
+      rec.problem.num_objects(), 4);
+  auto volumes = VolumesFor(see, rec.problem, *system);
+  ASSERT_TRUE(volumes.ok());
+  EXPECT_FALSE(ReplayTrace(empty, system.get(), &*volumes).ok());
+  IoTrace bad;
+  IoEvent ev;
+  ev.object = 999;
+  ev.size = kKiB;
+  bad.Add(ev);
+  EXPECT_FALSE(ReplayTrace(bad, system.get(), &*volumes).ok());
+}
+
+TEST(ReplayTest, ReplaysEveryRequestWithSaneMetrics) {
+  const Recorded& rec = RecordedTrace();
+  auto system = FourDisks(kScale);
+  const Layout see = Layout::StripeEverythingEverywhere(
+      rec.problem.num_objects(), 4);
+  auto volumes = VolumesFor(see, rec.problem, *system);
+  ASSERT_TRUE(volumes.ok());
+  auto result = ReplayTrace(rec.trace, system.get(), &*volumes);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->requests, rec.trace.size());
+  EXPECT_GT(result->mean_latency_s, 0.0);
+  EXPECT_GE(result->p99_latency_s, result->mean_latency_s);
+  // Open-loop replay: elapsed is close to the trace duration.
+  EXPECT_NEAR(result->elapsed_seconds, rec.trace.Duration(),
+              0.2 * rec.trace.Duration());
+  ASSERT_EQ(result->utilization.size(), 4u);
+}
+
+TEST(ReplayTest, AdvisedLayoutLowersReplayLatency) {
+  // The what-if check an administrator would run: replay the recorded SEE
+  // trace under the advisor's layout and compare latencies.
+  const Recorded& rec = RecordedTrace();
+  LayoutAdvisor advisor;
+  auto advised = advisor.Recommend(rec.problem);
+  ASSERT_TRUE(advised.ok());
+
+  auto sys_see = FourDisks(kScale);
+  const Layout see = Layout::StripeEverythingEverywhere(
+      rec.problem.num_objects(), 4);
+  auto vol_see = VolumesFor(see, rec.problem, *sys_see);
+  ASSERT_TRUE(vol_see.ok());
+  auto r_see = ReplayTrace(rec.trace, sys_see.get(), &*vol_see);
+  ASSERT_TRUE(r_see.ok());
+
+  auto sys_opt = FourDisks(kScale);
+  auto vol_opt = VolumesFor(advised->final_layout, rec.problem, *sys_opt);
+  ASSERT_TRUE(vol_opt.ok());
+  auto r_opt = ReplayTrace(rec.trace, sys_opt.get(), &*vol_opt);
+  ASSERT_TRUE(r_opt.ok());
+
+  EXPECT_LT(r_opt->mean_latency_s, r_see->mean_latency_s);
+}
+
+TEST(ReplayTest, DeterministicAcrossRuns) {
+  const Recorded& rec = RecordedTrace();
+  const Layout see = Layout::StripeEverythingEverywhere(
+      rec.problem.num_objects(), 4);
+  auto sys1 = FourDisks(kScale);
+  auto vol1 = VolumesFor(see, rec.problem, *sys1);
+  auto sys2 = FourDisks(kScale);
+  auto vol2 = VolumesFor(see, rec.problem, *sys2);
+  ASSERT_TRUE(vol1.ok());
+  ASSERT_TRUE(vol2.ok());
+  auto a = ReplayTrace(rec.trace, sys1.get(), &*vol1);
+  auto b = ReplayTrace(rec.trace, sys2.get(), &*vol2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->mean_latency_s, b->mean_latency_s);
+  EXPECT_DOUBLE_EQ(a->elapsed_seconds, b->elapsed_seconds);
+}
+
+}  // namespace
+}  // namespace ldb

@@ -1,0 +1,357 @@
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "solver/layout_nlp.h"
+#include "solver/multistart.h"
+#include "solver/projected_gradient.h"
+#include "solver/randomized.h"
+#include "solver/simplex.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace ldb {
+namespace {
+
+// --------------------------------------------------------------- Simplex
+
+TEST(SimplexTest, AlreadyOnSimplexUnchanged) {
+  double v[3] = {0.2, 0.5, 0.3};
+  ProjectToSimplex(v, 3);
+  EXPECT_NEAR(v[0], 0.2, 1e-12);
+  EXPECT_NEAR(v[1], 0.5, 1e-12);
+  EXPECT_NEAR(v[2], 0.3, 1e-12);
+}
+
+TEST(SimplexTest, ProjectionSumsToRadius) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> v(5);
+    for (auto& x : v) x = rng.Uniform(-2, 2);
+    ProjectToSimplex(v.data(), v.size());
+    double sum = 0;
+    for (double x : v) {
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(SimplexTest, UniformShiftInvariance) {
+  // Projection of v and v + c*1 are identical.
+  double a[4] = {0.9, -0.3, 0.4, 0.1};
+  double b[4] = {1.9, 0.7, 1.4, 1.1};
+  ProjectToSimplex(a, 4);
+  ProjectToSimplex(b, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+TEST(SimplexTest, DominantCoordinateWins) {
+  double v[3] = {10.0, 0.0, 0.0};
+  ProjectToSimplex(v, 3);
+  EXPECT_NEAR(v[0], 1.0, 1e-12);
+  EXPECT_NEAR(v[1], 0.0, 1e-12);
+}
+
+TEST(SimplexTest, ScaledRadius) {
+  double v[2] = {3.0, 1.0};
+  ProjectToSimplex(v, 2, 2.0);
+  EXPECT_NEAR(v[0] + v[1], 2.0, 1e-12);
+  EXPECT_GT(v[0], v[1]);
+}
+
+TEST(SimplexTest, ProjectionIsIdempotent) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> v(6), w;
+    for (auto& x : v) x = rng.Uniform(-1, 3);
+    ProjectToSimplex(v.data(), v.size());
+    w = v;
+    ProjectToSimplex(w.data(), w.size());
+    for (size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(w[i], v[i], 1e-9);
+  }
+}
+
+// -------------------------------------------------------------- SmoothMax
+
+TEST(SmoothMaxTest, UpperBoundsMaxAndConverges) {
+  const double v[3] = {0.2, 0.9, 0.5};
+  EXPECT_GE(SmoothMax(v, 3, 10), 0.9);
+  EXPECT_LE(SmoothMax(v, 3, 10), 0.9 + std::log(3.0) / 10);
+  EXPECT_NEAR(SmoothMax(v, 3, 1000), 0.9, 1e-2);
+  EXPECT_LT(SmoothMax(v, 3, 1000), SmoothMax(v, 3, 10));
+}
+
+TEST(SmoothMaxTest, StableForLargeValues) {
+  const double v[2] = {1e6, 1e6 - 1};
+  const double s = SmoothMax(v, 2, 50);
+  EXPECT_TRUE(std::isfinite(s));
+  EXPECT_NEAR(s, 1e6, 0.1);
+}
+
+// ---------------------------------------------------------------- Solver
+
+/// Analytic toy problem: µ_j = (weighted load on target j) / speed_j, no
+/// interference. The optimum spreads load proportionally to speed.
+LayoutNlpProblem MakeLinearProblem(std::vector<double> rates,
+                                   std::vector<double> speeds,
+                                   std::vector<int64_t> sizes = {},
+                                   std::vector<int64_t> caps = {}) {
+  LayoutNlpProblem p;
+  p.num_objects = static_cast<int>(rates.size());
+  p.num_targets = static_cast<int>(speeds.size());
+  p.object_sizes =
+      sizes.empty() ? std::vector<int64_t>(rates.size(), kGiB) : sizes;
+  p.target_capacities =
+      caps.empty() ? std::vector<int64_t>(speeds.size(), 100 * kGiB) : caps;
+  p.target_utilization = [rates, speeds](const Layout& l, int j) {
+    double load = 0;
+    for (int i = 0; i < l.num_objects(); ++i) {
+      load += rates[static_cast<size_t>(i)] * l.At(i, j);
+    }
+    return load / speeds[static_cast<size_t>(j)];
+  };
+  return p;
+}
+
+TEST(SolverTest, RejectsMalformedProblems) {
+  ProjectedGradientSolver solver;
+  LayoutNlpProblem p = MakeLinearProblem({1, 2}, {1, 1});
+  Layout init = Layout::StripeEverythingEverywhere(2, 2);
+  p.target_utilization = nullptr;
+  EXPECT_FALSE(solver.Solve(p, init).ok());
+  p = MakeLinearProblem({1, 2}, {1, 1});
+  EXPECT_FALSE(
+      solver.Solve(p, Layout::StripeEverythingEverywhere(3, 2)).ok());
+  p.object_sizes[0] = 0;
+  EXPECT_FALSE(solver.Solve(p, init).ok());
+}
+
+TEST(SolverTest, BalancesEqualObjectsOnEqualTargets) {
+  ProjectedGradientSolver solver;
+  LayoutNlpProblem p = MakeLinearProblem({10, 10}, {1, 1});
+  // Seed everything on target 0: max µ = 20.
+  Layout init(2, 2);
+  init.SetRowRegular(0, {0});
+  init.SetRowRegular(1, {0});
+  auto r = solver.Solve(p, init);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->feasible);
+  // Optimal max utilization is 10 (perfect balance).
+  EXPECT_NEAR(r->max_utilization, 10.0, 0.3);
+}
+
+TEST(SolverTest, FasterTargetGetsMoreLoad) {
+  ProjectedGradientSolver solver;
+  LayoutNlpProblem p = MakeLinearProblem({12}, {1, 3});
+  Layout init = Layout::StripeEverythingEverywhere(1, 2);
+  auto r = solver.Solve(p, init);
+  ASSERT_TRUE(r.ok());
+  // Optimum: L = (1/4, 3/4), max µ = 3.
+  EXPECT_NEAR(r->max_utilization, 3.0, 0.15);
+  EXPECT_GT(r->layout.At(0, 1), 2 * r->layout.At(0, 0));
+}
+
+TEST(SolverTest, ImprovesOnUnbalancedSeed) {
+  ProjectedGradientSolver solver;
+  LayoutNlpProblem p = MakeLinearProblem({8, 4, 2, 1}, {1, 1, 1});
+  Layout init(4, 3);
+  for (int i = 0; i < 4; ++i) init.SetRowRegular(i, {0});
+  const double seed_mu = 15.0;  // all on target 0
+  auto r = solver.Solve(p, init);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->max_utilization, seed_mu / 2);
+  EXPECT_NEAR(r->max_utilization, 5.0, 0.5);  // perfect balance = 5
+  EXPECT_GT(r->iterations, 0);
+  EXPECT_GT(r->objective_evaluations, 0);
+}
+
+TEST(SolverTest, RespectsCapacityConstraints) {
+  // Two objects of 10 GiB each; target 0 can hold only 5 GiB total but is
+  // much faster. Load balance wants everything on 0; capacity forbids it.
+  ProjectedGradientSolver solver;
+  LayoutNlpProblem p = MakeLinearProblem(
+      {10, 10}, {10, 1}, {10 * kGiB, 10 * kGiB}, {5 * kGiB, 40 * kGiB});
+  Layout init = Layout::StripeEverythingEverywhere(2, 2);
+  auto r = solver.Solve(p, init);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->feasible);
+  EXPECT_TRUE(
+      r->layout.SatisfiesCapacity(p.object_sizes, p.target_capacities));
+  // At most 5 GiB (25% of the 20 GiB total) fits on the fast target.
+  const double on_fast = r->layout.At(0, 0) + r->layout.At(1, 0);
+  EXPECT_LE(on_fast, 0.5 + 1e-6);
+  EXPECT_GT(on_fast, 0.3);  // ...but the solver should use what it can
+}
+
+TEST(SolverTest, SolutionRowsStayOnSimplex) {
+  ProjectedGradientSolver solver;
+  LayoutNlpProblem p = MakeLinearProblem({5, 3, 2}, {1, 2});
+  Rng rng(5);
+  auto seeds = MultiStartSolver::RandomSeeds(p, 3, &rng);
+  for (const Layout& seed : seeds) {
+    auto r = solver.Solve(p, seed);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->layout.SatisfiesIntegrity(1e-6));
+  }
+}
+
+TEST(SolverTest, InterferenceAwareObjectiveSeparatesObjects) {
+  // µ_j = Σ load + quadratic interaction between co-located objects 0,1.
+  LayoutNlpProblem p;
+  p.num_objects = 2;
+  p.num_targets = 2;
+  p.object_sizes = {kGiB, kGiB};
+  p.target_capacities = {10 * kGiB, 10 * kGiB};
+  p.target_utilization = [](const Layout& l, int j) {
+    const double a = l.At(0, j), b = l.At(1, j);
+    return 0.3 * (a + b) + 2.0 * a * b;  // heavy interference term
+  };
+  ProjectedGradientSolver solver;
+  // SEE is a symmetric saddle of this objective — the same trap the paper
+  // reports for MINOS (Section 4.2), and why its advisor seeds the solver
+  // with an asymmetric heuristic layout instead. Seed slightly off-balance.
+  Layout seed(2, 2);
+  seed.Set(0, 0, 0.6);
+  seed.Set(0, 1, 0.4);
+  seed.Set(1, 0, 0.4);
+  seed.Set(1, 1, 0.6);
+  auto r = solver.Solve(p, seed);
+  ASSERT_TRUE(r.ok());
+  // SEE gives µ = 0.3 + 0.5 = 0.8 on both targets; full separation gives
+  // µ = 0.3. The solver must discover the separation.
+  EXPECT_LT(r->max_utilization, 0.35);
+  const double co0 = r->layout.At(0, 0) * r->layout.At(1, 0);
+  const double co1 = r->layout.At(0, 1) * r->layout.At(1, 1);
+  EXPECT_LT(co0 + co1, 0.05);
+}
+
+// ------------------------------------------------------------- MultiStart
+
+TEST(MultiStartTest, RequiresSeeds) {
+  MultiStartSolver solver;
+  LayoutNlpProblem p = MakeLinearProblem({1}, {1});
+  EXPECT_FALSE(solver.Solve(p, {}).ok());
+}
+
+TEST(MultiStartTest, PicksBestOfSeeds) {
+  MultiStartSolver ms;
+  // Non-convex-ish: interference makes "together" a local optimum trap when
+  // seeded together.
+  LayoutNlpProblem p = MakeLinearProblem({6, 6}, {1, 1});
+  Layout bad(2, 2), good(2, 2);
+  bad.SetRowRegular(0, {0});
+  bad.SetRowRegular(1, {0});
+  good.SetRowRegular(0, {0});
+  good.SetRowRegular(1, {1});
+  auto r = ms.Solve(p, {bad, good});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->max_utilization, 6.0, 0.3);
+}
+
+TEST(MultiStartTest, AccumulatesEffortCounters) {
+  MultiStartSolver ms;
+  LayoutNlpProblem p = MakeLinearProblem({3, 2}, {1, 1});
+  Layout a = Layout::StripeEverythingEverywhere(2, 2);
+  ProjectedGradientSolver single;
+  auto one = single.Solve(p, a);
+  auto two = ms.Solve(p, {a, a});
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(two.ok());
+  EXPECT_GE(two->objective_evaluations, 2 * one->objective_evaluations);
+}
+
+TEST(MultiStartTest, RandomSeedsAreValidSimplexRows) {
+  LayoutNlpProblem p = MakeLinearProblem({1, 2, 3}, {1, 1, 1, 1});
+  Rng rng(9);
+  auto seeds = MultiStartSolver::RandomSeeds(p, 5, &rng);
+  EXPECT_EQ(seeds.size(), 5u);
+  for (const Layout& l : seeds) {
+    EXPECT_EQ(l.num_objects(), 3);
+    EXPECT_EQ(l.num_targets(), 4);
+    EXPECT_TRUE(l.SatisfiesIntegrity(1e-9));
+  }
+}
+
+
+// --------------------------------------------------- RandomizedSearch
+
+TEST(RandomizedSearchTest, RejectsBadInputs) {
+  RandomizedSearchSolver solver;
+  LayoutNlpProblem p = MakeLinearProblem({1, 2}, {1, 1});
+  Layout nonregular(2, 2);
+  nonregular.Set(0, 0, 0.3);
+  nonregular.Set(0, 1, 0.7);
+  nonregular.SetRowRegular(1, {0});
+  EXPECT_FALSE(solver.Solve(p, nonregular).ok());
+  RandomizedSearchOptions bad;
+  bad.iterations = 0;
+  EXPECT_FALSE(RandomizedSearchSolver(bad)
+                   .Solve(p, Layout::StripeEverythingEverywhere(2, 2))
+                   .ok());
+}
+
+TEST(RandomizedSearchTest, ImprovesOnUnbalancedSeedAndStaysRegular) {
+  LayoutNlpProblem p = MakeLinearProblem({8, 4, 2, 1}, {1, 1, 1});
+  Layout seed(4, 3);
+  for (int i = 0; i < 4; ++i) seed.SetRowRegular(i, {0});
+  RandomizedSearchSolver solver;
+  auto r = solver.Solve(p, seed);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->feasible);
+  EXPECT_TRUE(r->layout.IsRegular(1e-9));
+  EXPECT_LT(r->max_utilization, 15.0 / 2);      // beats the all-on-one seed
+  EXPECT_NEAR(r->max_utilization, 5.0, 0.6);    // near-balanced optimum
+}
+
+TEST(RandomizedSearchTest, EscapesSeeSaddleUnlikeGradient) {
+  // The interference objective whose SEE point traps the gradient solver
+  // (symmetric saddle): random moves break the symmetry immediately.
+  LayoutNlpProblem p;
+  p.num_objects = 2;
+  p.num_targets = 2;
+  p.object_sizes = {kGiB, kGiB};
+  p.target_capacities = {10 * kGiB, 10 * kGiB};
+  p.target_utilization = [](const Layout& l, int j) {
+    const double a = l.At(0, j), b = l.At(1, j);
+    return 0.3 * (a + b) + 2.0 * a * b;
+  };
+  RandomizedSearchSolver solver;
+  auto r = solver.Solve(p, Layout::StripeEverythingEverywhere(2, 2));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->max_utilization, 0.35);  // full separation found
+}
+
+TEST(RandomizedSearchTest, HonorsConstraints) {
+  LayoutNlpProblem p = MakeLinearProblem({5, 5, 2}, {1, 1, 1});
+  p.constraints.allowed_targets = {{0, 1}, {}, {2}};
+  p.constraints.separate = {{0, 1}};
+  Layout seed(3, 3);
+  seed.SetRowRegular(0, {0});
+  seed.SetRowRegular(1, {1});
+  seed.SetRowRegular(2, {2});
+  RandomizedSearchSolver solver;
+  auto r = solver.Solve(p, seed);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->feasible);
+  EXPECT_TRUE(p.constraints.SatisfiedBy(r->layout));
+}
+
+TEST(RandomizedSearchTest, DeterministicForEqualSeeds) {
+  LayoutNlpProblem p = MakeLinearProblem({6, 3, 2, 1}, {1, 2});
+  Layout seed = Layout::StripeEverythingEverywhere(4, 2);
+  RandomizedSearchOptions opts;
+  opts.seed = 77;
+  auto a = RandomizedSearchSolver(opts).Solve(p, seed);
+  auto b = RandomizedSearchSolver(opts).Solve(p, seed);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->max_utilization, b->max_utilization);
+  EXPECT_TRUE(a->layout == b->layout);
+}
+
+}  // namespace
+}  // namespace ldb

@@ -1,0 +1,518 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/disk.h"
+#include "storage/event_queue.h"
+#include "storage/lvm.h"
+#include "storage/ssd.h"
+#include "storage/storage_system.h"
+#include "storage/target.h"
+#include "util/units.h"
+
+namespace ldb {
+namespace {
+
+// ------------------------------------------------------------ EventQueue
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  EXPECT_DOUBLE_EQ(q.RunUntilIdle(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.ScheduleAt(1.0, [&, i] { order.push_back(i); });
+  q.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CallbacksMayScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 10) q.ScheduleAfter(0.5, chain);
+  };
+  q.ScheduleAfter(0.5, chain);
+  EXPECT_DOUBLE_EQ(q.RunUntilIdle(), 5.0);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] { ++fired; });
+  q.ScheduleAt(10.0, [&] { ++fired; });
+  q.RunUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.Empty());
+  q.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, CountsEvents) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.ScheduleAfter(1.0, [] {});
+  q.RunUntilIdle();
+  EXPECT_EQ(q.events_executed(), 7u);
+}
+
+// ------------------------------------------------------------ DiskModel
+
+TEST(DiskModelTest, SequentialRunIsMediaRate) {
+  DiskModel d(Scsi15kParams());
+  const int64_t sz = 64 * kKiB;
+  // First request pays positioning.
+  const double first = d.ServiceTime({0, sz, false});
+  // Continuations are transfer + overhead only.
+  const double expect_seq =
+      d.params().per_request_overhead_s +
+      static_cast<double>(sz) / (d.params().transfer_mbps * kMiB);
+  for (int i = 1; i < 10; ++i) {
+    const double t = d.ServiceTime({i * sz, sz, false});
+    EXPECT_NEAR(t, expect_seq, 1e-9);
+  }
+  EXPECT_GT(first, 2 * expect_seq);
+}
+
+TEST(DiskModelTest, RandomRequestPaysSeekAndRotation) {
+  DiskModel d(Scsi15kParams());
+  d.ServiceTime({0, 8 * kKiB, false});
+  const double t = d.ServiceTime({10 * kGiB, 8 * kKiB, false});
+  // At least half a rotation (2 ms at 15K RPM) plus some seek.
+  EXPECT_GT(t, 0.002);
+}
+
+TEST(DiskModelTest, SeekTimeConcaveAndMonotone) {
+  DiskModel d(Scsi15kParams());
+  const double s1 = d.SeekTime(kGiB);
+  const double s4 = d.SeekTime(4 * kGiB);
+  const double s16 = d.SeekTime(16 * kGiB);
+  EXPECT_LT(s1, s4);
+  EXPECT_LT(s4, s16);
+  // Concavity: quadrupling distance less than quadruples the marginal time.
+  EXPECT_LT(s16 - s4, 4 * (s4 - s1));
+  EXPECT_DOUBLE_EQ(d.SeekTime(0), 0.0);
+}
+
+TEST(DiskModelTest, TracksTwoInterleavedStreams) {
+  DiskParams p = Scsi15kParams();
+  ASSERT_EQ(p.readahead_streams, 2);
+  DiskModel d(p);
+  const int64_t sz = 64 * kKiB;
+  const int64_t base_b = 8 * kGiB;
+  // Establish both streams.
+  d.ServiceTime({0, sz, false});
+  d.ServiceTime({base_b, sz, false});
+  // Interleaved continuations keep their prefetch slots: no full seek +
+  // rotation, but every request pays the stream-switch penalty because the
+  // head alternates between the two regions.
+  const double expect_seq =
+      p.per_request_overhead_s + static_cast<double>(sz) / (p.transfer_mbps * kMiB);
+  const double expect_switch = expect_seq + p.stream_switch_penalty_s;
+  for (int i = 1; i < 8; ++i) {
+    EXPECT_NEAR(d.ServiceTime({i * sz, sz, false}), expect_switch, 1e-9);
+    EXPECT_NEAR(d.ServiceTime({base_b + i * sz, sz, false}), expect_switch,
+                1e-9);
+  }
+  // A full positioning miss costs clearly more than a stream switch.
+  DiskModel fresh(p);
+  fresh.ServiceTime({0, sz, false});
+  EXPECT_GT(fresh.ServiceTime({12 * kGiB, sz, false}), 2 * expect_switch);
+}
+
+TEST(DiskModelTest, UninterruptedStreamPaysNoSwitchPenalty) {
+  DiskParams p = Scsi15kParams();
+  DiskModel d(p);
+  const int64_t sz = 64 * kKiB;
+  d.ServiceTime({0, sz, false});
+  const double expect_seq =
+      p.per_request_overhead_s + static_cast<double>(sz) / (p.transfer_mbps * kMiB);
+  EXPECT_NEAR(d.ServiceTime({sz, sz, false}), expect_seq, 1e-9);
+}
+
+TEST(DiskModelTest, ThirdStreamDestroysSequentiality) {
+  DiskParams p = Scsi15kParams();
+  DiskModel d(p);
+  const int64_t sz = 64 * kKiB;
+  const int64_t bases[3] = {0, 6 * kGiB, 12 * kGiB};
+  for (int64_t b : bases) d.ServiceTime({b, sz, false});
+  // Round-robin over three streams with two slots: every request misses.
+  const double expect_seq =
+      p.per_request_overhead_s + static_cast<double>(sz) / (p.transfer_mbps * kMiB);
+  double total = 0;
+  int n = 0;
+  for (int i = 1; i < 8; ++i) {
+    for (int64_t b : bases) {
+      total += d.ServiceTime({b + i * sz, sz, false});
+      ++n;
+    }
+  }
+  EXPECT_GT(total / n, 3 * expect_seq);
+}
+
+TEST(DiskModelTest, WritePositioningDiscount) {
+  DiskParams p = Scsi15kParams();
+  DiskModel d1(p), d2(p);
+  d1.ServiceTime({0, 8 * kKiB, false});
+  d2.ServiceTime({0, 8 * kKiB, true});
+  const double read_cost = d1.ServiceTime({9 * kGiB, 8 * kKiB, false});
+  const double write_cost = d2.ServiceTime({9 * kGiB, 8 * kKiB, true});
+  EXPECT_LT(write_cost, read_cost);
+}
+
+TEST(DiskModelTest, ResetRestoresInitialState) {
+  DiskModel d(Scsi15kParams());
+  const double first = d.ServiceTime({0, 8 * kKiB, false});
+  d.ServiceTime({5 * kGiB, 8 * kKiB, false});
+  d.Reset();
+  EXPECT_DOUBLE_EQ(d.ServiceTime({0, 8 * kKiB, false}), first);
+}
+
+TEST(DiskModelTest, CloneIsIndependentFreshDevice) {
+  DiskModel d(Scsi15kParams());
+  d.ServiceTime({0, 64 * kKiB, false});
+  auto c = d.Clone();
+  // Clone has no stream state: at offset 64K it must pay positioning.
+  EXPECT_GT(c->ServiceTime({64 * kKiB, 64 * kKiB, false}),
+            d.ServiceTime({64 * kKiB, 64 * kKiB, false}));
+}
+
+TEST(DiskModelTest, PositioningEstimateMatchesSequentialState) {
+  DiskModel d(Scsi15kParams());
+  d.ServiceTime({0, 64 * kKiB, false});
+  EXPECT_DOUBLE_EQ(d.PositioningEstimate({64 * kKiB, 64 * kKiB, false}), 0.0);
+  EXPECT_GT(d.PositioningEstimate({10 * kGiB, 64 * kKiB, false}), 0.001);
+}
+
+TEST(DiskModelTest, NearlineSlowerRandomThan15k) {
+  DiskModel fast(Scsi15kParams());
+  DiskModel slow(Nearline7200Params());
+  fast.ServiceTime({0, 8 * kKiB, false});
+  slow.ServiceTime({0, 8 * kKiB, false});
+  // Compare a half-stroke seek on each drive: the 15K drive positions
+  // faster (shorter seeks and less rotational latency).
+  EXPECT_LT(
+      fast.ServiceTime({fast.capacity_bytes() / 2, 8 * kKiB, false}),
+      slow.ServiceTime({slow.capacity_bytes() / 2, 8 * kKiB, false}));
+}
+
+// ------------------------------------------------------------ SsdModel
+
+TEST(SsdModelTest, RandomEqualsSequential) {
+  SsdModel s(SsdParams{});
+  const double a = s.ServiceTime({0, 8 * kKiB, false});
+  const double b = s.ServiceTime({10 * kGiB, 8 * kKiB, false});
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SsdModelTest, MuchFasterThanDiskForRandomReads) {
+  SsdModel s(SsdParams{});
+  DiskModel d(Scsi15kParams());
+  d.ServiceTime({0, 8 * kKiB, false});
+  const double ssd = s.ServiceTime({5 * kGiB, 8 * kKiB, false});
+  const double disk = d.ServiceTime({10 * kGiB, 8 * kKiB, false});
+  EXPECT_GT(disk / ssd, 10.0);
+}
+
+TEST(SsdModelTest, WritesSlowerThanReads) {
+  SsdModel s(SsdParams{});
+  EXPECT_GT(s.ServiceTime({0, 8 * kKiB, true}),
+            s.ServiceTime({0, 8 * kKiB, false}));
+}
+
+// ------------------------------------------------------------ Target
+
+std::unique_ptr<StorageTarget> MakeDiskTarget(EventQueue* q, int members = 1) {
+  DiskModel proto(Scsi15kParams());
+  std::vector<std::unique_ptr<BlockDevice>> devs;
+  for (int i = 0; i < members; ++i) devs.push_back(proto.Clone());
+  return std::make_unique<StorageTarget>("t", std::move(devs), 64 * kKiB, q);
+}
+
+TEST(StorageTargetTest, CompletesSingleRequest) {
+  EventQueue q;
+  auto t = MakeDiskTarget(&q);
+  double completed = -1;
+  t->Submit({0, 8 * kKiB, false, 0}, [&](double when) { completed = when; });
+  q.RunUntilIdle();
+  EXPECT_GT(completed, 0.0);
+  EXPECT_EQ(t->requests_completed(), 1u);
+  EXPECT_NEAR(t->busy_time(), completed, 1e-12);
+}
+
+TEST(StorageTargetTest, QueuedRequestsServializeOnOneDisk) {
+  EventQueue q;
+  auto t = MakeDiskTarget(&q);
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) {
+    t->Submit({i * kGiB, 8 * kKiB, false, 0},
+              [&](double when) { done.push_back(when); });
+  }
+  q.RunUntilIdle();
+  ASSERT_EQ(done.size(), 4u);
+  for (size_t i = 1; i < done.size(); ++i) EXPECT_GT(done[i], done[i - 1]);
+}
+
+TEST(StorageTargetTest, Raid0SplitsLargeRequestAcrossMembers) {
+  EventQueue q1, q2;
+  auto one = MakeDiskTarget(&q1, 1);
+  auto three = MakeDiskTarget(&q2, 3);
+  double t_one = 0, t_three = 0;
+  // A large sequential read: RAID0 should be substantially faster.
+  const int64_t size = 16 * kMiB;
+  one->Submit({0, size, false, 0}, [&](double w) { t_one = w; });
+  three->Submit({0, size, false, 0}, [&](double w) { t_three = w; });
+  q1.RunUntilIdle();
+  q2.RunUntilIdle();
+  EXPECT_GT(t_one / t_three, 2.0);
+}
+
+TEST(StorageTargetTest, Raid0ServesIndependentRequestsConcurrently) {
+  EventQueue q;
+  auto t = MakeDiskTarget(&q, 2);
+  // Two small requests landing on different members (stripe 64K).
+  std::vector<double> done;
+  t->Submit({0, 8 * kKiB, false, 0}, [&](double w) { done.push_back(w); });
+  t->Submit({64 * kKiB, 8 * kKiB, false, 0},
+            [&](double w) { done.push_back(w); });
+  q.RunUntilIdle();
+  ASSERT_EQ(done.size(), 2u);
+  // Concurrent service: both finish at (nearly) the same time.
+  EXPECT_NEAR(done[0], done[1], 1e-4);
+}
+
+TEST(StorageTargetTest, CapacitySumsMembers) {
+  EventQueue q;
+  auto t1 = MakeDiskTarget(&q, 1);
+  auto t3 = MakeDiskTarget(&q, 3);
+  EXPECT_EQ(t3->capacity_bytes(), 3 * t1->capacity_bytes());
+  EXPECT_EQ(t3->num_members(), 3);
+}
+
+TEST(StorageTargetTest, SchedulerPrefersNearbyRequest) {
+  // Queue a far request then a sequential one while busy; the sequential
+  // continuation should be served first (shortest positioning first).
+  EventQueue q;
+  auto t = MakeDiskTarget(&q);
+  std::vector<int> order;
+  t->Submit({0, 64 * kKiB, false, 0}, [&](double) { order.push_back(0); });
+  t->Submit({10 * kGiB, 8 * kKiB, false, 0},
+            [&](double) { order.push_back(1); });
+  t->Submit({64 * kKiB, 64 * kKiB, false, 0},
+            [&](double) { order.push_back(2); });
+  q.RunUntilIdle();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 2);  // sequential continuation jumps the queue
+  EXPECT_EQ(order[2], 1);
+}
+
+TEST(StorageTargetTest, ResetClearsStatistics) {
+  EventQueue q;
+  auto t = MakeDiskTarget(&q);
+  t->Submit({0, 8 * kKiB, false, 0}, nullptr);
+  q.RunUntilIdle();
+  EXPECT_GT(t->busy_time(), 0.0);
+  t->Reset();
+  EXPECT_DOUBLE_EQ(t->busy_time(), 0.0);
+  EXPECT_EQ(t->requests_completed(), 0u);
+}
+
+// ------------------------------------------------------------ StorageSystem
+
+TEST(StorageSystemTest, BuildsTargetsFromSpecs) {
+  DiskModel disk(Scsi15kParams());
+  SsdModel ssd(SsdParams{});
+  std::vector<TargetSpec> specs{
+      {"raid3", &disk, 3, 64 * kKiB},
+      {"disk", &disk, 1, 64 * kKiB},
+      {"ssd", &ssd, 1, 64 * kKiB},
+  };
+  StorageSystem sys(specs);
+  EXPECT_EQ(sys.num_targets(), 3);
+  EXPECT_EQ(sys.target(0).num_members(), 3);
+  EXPECT_EQ(sys.target(2).device_model(), "ssd");
+  const auto caps = sys.capacities();
+  EXPECT_EQ(caps[0], 3 * caps[1]);
+}
+
+TEST(StorageSystemTest, ObserverSeesCompletedRequests) {
+  DiskModel disk(Scsi15kParams());
+  StorageSystem sys({{"d", &disk, 1, 64 * kKiB}});
+  std::vector<IoEvent> events;
+  sys.set_observer([&](const IoEvent& ev) { events.push_back(ev); });
+  sys.Submit(0, {4 * kKiB, 8 * kKiB, true, 7}, nullptr);
+  sys.queue().RunUntilIdle();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].object, 7);
+  EXPECT_EQ(events[0].target, 0);
+  EXPECT_TRUE(events[0].is_write);
+  EXPECT_EQ(events[0].size, 8 * kKiB);
+  EXPECT_GT(events[0].complete_time, events[0].submit_time);
+}
+
+TEST(StorageSystemTest, MeasuredUtilizationBounded) {
+  DiskModel disk(Scsi15kParams());
+  StorageSystem sys({{"d", &disk, 1, 64 * kKiB}});
+  for (int i = 0; i < 10; ++i) sys.Submit(0, {i * kGiB, 8 * kKiB, false, 0}, nullptr);
+  const double elapsed = sys.queue().RunUntilIdle();
+  const double u = sys.MeasuredUtilization(0, elapsed);
+  EXPECT_GT(u, 0.9);  // back-to-back service: busy almost the whole time
+  EXPECT_LE(u, 1.0 + 1e-9);
+}
+
+// ------------------------------------------------------------ LVM
+
+TEST(LvmTest, SingleTargetObjectMapsContiguously) {
+  auto mgr = StripedVolumeManager::Create({10 * kMiB}, {{0}}, {kGiB}, kMiB);
+  ASSERT_TRUE(mgr.ok());
+  std::vector<TargetChunk> chunks;
+  mgr->Map(0, 3 * kMiB + 100, 2 * kMiB, &chunks);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].target, 0);
+  EXPECT_EQ(chunks[0].offset, 3 * kMiB + 100);
+  EXPECT_EQ(chunks[0].size, 2 * kMiB);
+}
+
+TEST(LvmTest, StripesRoundRobinAcrossTargets) {
+  auto mgr = StripedVolumeManager::Create({4 * kMiB}, {{0, 1}}, {kGiB, kGiB},
+                                          kMiB);
+  ASSERT_TRUE(mgr.ok());
+  std::vector<TargetChunk> chunks;
+  mgr->Map(0, 0, 4 * kMiB, &chunks);
+  ASSERT_EQ(chunks.size(), 4u);
+  EXPECT_EQ(chunks[0].target, 0);
+  EXPECT_EQ(chunks[1].target, 1);
+  EXPECT_EQ(chunks[2].target, 0);
+  EXPECT_EQ(chunks[3].target, 1);
+  // Stripes 0 and 2 are contiguous on target 0's extent.
+  EXPECT_EQ(chunks[2].offset, chunks[0].offset + kMiB);
+}
+
+TEST(LvmTest, SecondObjectExtentDoesNotOverlapFirst) {
+  auto mgr = StripedVolumeManager::Create({2 * kMiB, 2 * kMiB}, {{0}, {0}},
+                                          {kGiB}, kMiB);
+  ASSERT_TRUE(mgr.ok());
+  std::vector<TargetChunk> a, b;
+  mgr->Map(0, 0, 2 * kMiB, &a);
+  mgr->Map(1, 0, 2 * kMiB, &b);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_GE(b[0].offset, a[0].offset + a[0].size);
+}
+
+TEST(LvmTest, RejectsOverCapacity) {
+  auto mgr =
+      StripedVolumeManager::Create({2 * kGiB}, {{0}}, {1 * kGiB}, kMiB);
+  EXPECT_FALSE(mgr.ok());
+  EXPECT_EQ(mgr.status().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(LvmTest, RejectsDuplicateTargets) {
+  auto mgr = StripedVolumeManager::Create({kMiB}, {{0, 0}}, {kGiB}, kMiB);
+  EXPECT_FALSE(mgr.ok());
+}
+
+TEST(LvmTest, RejectsUnknownTarget) {
+  auto mgr = StripedVolumeManager::Create({kMiB}, {{3}}, {kGiB}, kMiB);
+  EXPECT_FALSE(mgr.ok());
+}
+
+TEST(LvmTest, AccountsAllocationPerTarget) {
+  auto mgr = StripedVolumeManager::Create({3 * kMiB}, {{0, 1}}, {kGiB, kGiB},
+                                          kMiB);
+  ASSERT_TRUE(mgr.ok());
+  // 3 stripes: 2 on target 0, 1 on target 1.
+  EXPECT_EQ(mgr->allocated_on(0), 2 * kMiB);
+  EXPECT_EQ(mgr->allocated_on(1), 1 * kMiB);
+}
+
+TEST(LvmTest, MapSplitsAcrossStripeBoundary) {
+  auto mgr = StripedVolumeManager::Create({8 * kMiB}, {{0, 1}}, {kGiB, kGiB},
+                                          kMiB);
+  ASSERT_TRUE(mgr.ok());
+  std::vector<TargetChunk> chunks;
+  // Read 1 MiB starting half-way into stripe 0: spans stripes 0 and 1.
+  mgr->Map(0, kMiB / 2, kMiB, &chunks);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].target, 0);
+  EXPECT_EQ(chunks[0].size, kMiB / 2);
+  EXPECT_EQ(chunks[1].target, 1);
+  EXPECT_EQ(chunks[1].size, kMiB / 2);
+}
+
+
+TEST(StorageTargetTest, DeadlineBoundPreventsStarvation) {
+  // One sequential stream that would monopolize a pure SPTF scheduler,
+  // plus one far-away request. With the starvation bound the far request
+  // must be served within the bound (~max_wait) rather than after the
+  // whole stream.
+  EventQueue q;
+  DiskModel proto(Scsi15kParams());
+  std::vector<std::unique_ptr<BlockDevice>> devs;
+  devs.push_back(proto.Clone());
+  StorageTarget t("t", std::move(devs), 64 * kKiB, &q,
+                  /*scheduler_max_wait_s=*/0.02);
+  // Occupy the device with the first sequential request, then queue the
+  // far request behind a long sequential backlog.
+  int seq_done = 0;
+  t.Submit({0, 64 * kKiB, false, 0}, [&](double) { ++seq_done; });
+  double far_done = -1;
+  t.Submit({10 * kGiB, 8 * kKiB, false, 0}, [&](double w) { far_done = w; });
+  // 200 more sequential requests: SPTF alone would serve every one of
+  // them (positioning estimate 0) before the far request.
+  for (int i = 1; i <= 200; ++i) {
+    t.Submit({i * 64 * kKiB, 64 * kKiB, false, 0},
+             [&](double) { ++seq_done; });
+  }
+  q.RunUntilIdle();
+  EXPECT_GT(far_done, 0.0);
+  EXPECT_LT(far_done, 0.1);  // served near the bound, not after ~200 reqs
+  EXPECT_EQ(seq_done, 201);
+}
+
+TEST(StorageTargetTest, LargerMaxWaitServesMoreSequentialFirst) {
+  auto far_completion_with_bound = [](double bound) {
+    EventQueue q;
+    DiskModel proto(Scsi15kParams());
+    std::vector<std::unique_ptr<BlockDevice>> devs;
+    devs.push_back(proto.Clone());
+    StorageTarget t("t", std::move(devs), 64 * kKiB, &q, bound);
+    t.Submit({0, 64 * kKiB, false, 0}, nullptr);  // occupies the device
+    double far_done = -1;
+    t.Submit({10 * kGiB, 8 * kKiB, false, 0},
+             [&](double w) { far_done = w; });
+    for (int i = 1; i <= 400; ++i) {
+      t.Submit({i * 64 * kKiB, 64 * kKiB, false, 0}, nullptr);
+    }
+    q.RunUntilIdle();
+    return far_done;
+  };
+  EXPECT_LT(far_completion_with_bound(0.01),
+            far_completion_with_bound(0.2));
+}
+
+TEST(StorageSystemTest, SubmitSequenceNumbersAreMonotone) {
+  DiskModel disk(Scsi15kParams());
+  StorageSystem sys({{"d", &disk, 1, 64 * kKiB}});
+  std::vector<uint64_t> seqs;
+  sys.set_observer([&](const IoEvent& ev) { seqs.push_back(ev.seq); });
+  for (int i = 0; i < 8; ++i) {
+    sys.Submit(0, {i * kGiB, 8 * kKiB, false, 0, 0}, nullptr);
+  }
+  sys.queue().RunUntilIdle();
+  ASSERT_EQ(seqs.size(), 8u);
+  std::sort(seqs.begin(), seqs.end());
+  for (size_t i = 0; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], i);
+}
+
+}  // namespace
+}  // namespace ldb

@@ -1,0 +1,83 @@
+// layout_advisor — the standalone database storage layout advisor CLI,
+// the deployment mode the paper proposes (Section 8: "the technique could
+// be deployed as a standalone storage layout advisor, whose output would
+// guide the configuration of both the database system and the storage
+// system").
+//
+// Usage:
+//   layout_advisor <problem-file> [--no-regularize] [--seeds=<n>]
+//                  [--compare-see]
+//
+// The problem file describes objects, workloads, targets and constraints;
+// see src/core/problem_io.h for the format and examples/data/ for a
+// sample.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/advisor.h"
+#include "core/baselines.h"
+#include "core/problem_io.h"
+
+int main(int argc, char** argv) {
+  using namespace ldb;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <problem-file> [--no-regularize] [--seeds=<n>] "
+                 "[--compare-see]\n",
+                 argv[0]);
+    return 2;
+  }
+  AdvisorOptions options;
+  bool compare_see = false;
+  std::string path;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--no-regularize") == 0) {
+      options.regularize = false;
+    } else if (std::strncmp(argv[a], "--seeds=", 8) == 0) {
+      options.extra_random_seeds = std::atoi(argv[a] + 8);
+    } else if (std::strcmp(argv[a], "--compare-see") == 0) {
+      compare_see = true;
+    } else if (argv[a][0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", argv[a]);
+      return 2;
+    } else {
+      path = argv[a];
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "no problem file given\n");
+    return 2;
+  }
+
+  auto loaded = LoadProblemFile(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Loaded %d objects onto %d targets from %s\n",
+              loaded->problem.num_objects(), loaded->problem.num_targets(),
+              path.c_str());
+
+  LayoutAdvisor advisor(options);
+  auto result = advisor.Recommend(loaded->problem);
+  if (!result.ok()) {
+    std::fprintf(stderr, "advisor: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", FormatAdvisorReport(loaded->problem, *result).c_str());
+
+  if (compare_see) {
+    const TargetModel model = loaded->problem.MakeTargetModel();
+    const Layout see = SeeBaseline(loaded->problem);
+    std::printf(
+        "SEE baseline estimated max utilization: %.1f%% (optimized: "
+        "%.1f%%)\n",
+        100 * model.MaxUtilization(loaded->problem.workloads, see),
+        100 * result->max_utilization_final);
+  }
+  return 0;
+}

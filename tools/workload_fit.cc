@@ -1,0 +1,114 @@
+// workload_fit — runs the paper's workload-characterization pipeline on the
+// simulated testbed and emits a layoutdb problem file.
+//
+// This is the front half of the advisor toolchain: it builds a TPC-H (or
+// consolidated TPC-H + TPC-C) database on simulated disks, runs the chosen
+// workload under the SEE baseline with tracing enabled, fits Rome-style
+// workload descriptions from the trace (Section 5.1), and writes the
+// resulting layout problem to stdout — ready for `layout_advisor`:
+//
+//   build/tools/workload_fit --workload=olap8-63 > problem.txt
+//   build/tools/layout_advisor problem.txt --compare-see
+//
+// Options:
+//   --workload=olap1-21|olap1-63|olap8-63|consolidation   (default olap1-63)
+//   --scale=<f>    database/device scale (default 0.05)
+//   --seed=<n>     workload shuffle / simulation seed (default 7)
+//   --disks=<n>    number of single-disk targets (default 4)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/harness.h"
+#include "util/table.h"
+#include "core/problem_io.h"
+#include "workload/catalog.h"
+#include "workload/spec.h"
+
+int main(int argc, char** argv) {
+  using namespace ldb;
+  std::string workload = "olap1-63";
+  double scale = 0.05;
+  uint64_t seed = 7;
+  int disks = 4;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--workload=", 11) == 0) {
+      workload = argv[a] + 11;
+    } else if (std::strncmp(argv[a], "--scale=", 8) == 0) {
+      scale = std::atof(argv[a] + 8);
+    } else if (std::strncmp(argv[a], "--seed=", 7) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(argv[a] + 7));
+    } else if (std::strncmp(argv[a], "--disks=", 8) == 0) {
+      disks = std::atoi(argv[a] + 8);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[a]);
+      return 2;
+    }
+  }
+  if (scale <= 0 || disks <= 0) {
+    std::fprintf(stderr, "bad scale/disks\n");
+    return 2;
+  }
+
+  const bool consolidation = workload == "consolidation";
+  Catalog catalog =
+      consolidation
+          ? Catalog::Merge(Catalog::TpcH(scale), Catalog::TpcC(scale), "",
+                           "C_")
+          : Catalog::TpcH(scale);
+
+  std::vector<RigTargetDef> targets;
+  for (int j = 0; j < disks; ++j) {
+    targets.push_back(RigTargetDef{StrFormat("disk%d", j)});
+  }
+  auto rig = ExperimentRig::Create(catalog, targets, scale, seed);
+  if (!rig.ok()) {
+    std::fprintf(stderr, "rig: %s\n", rig.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<OlapSpec> olap = Status::NotFound("unset");
+  Result<OltpSpec> oltp = Status::NotFound("unset");
+  if (workload == "olap1-21") {
+    olap = MakeOlapSpec(rig->catalog(), 1, 1, seed);
+  } else if (workload == "olap1-63") {
+    olap = MakeOlapSpec(rig->catalog(), 3, 1, seed);
+  } else if (workload == "olap8-63") {
+    olap = MakeOlapSpec(rig->catalog(), 3, 8, seed);
+  } else if (consolidation) {
+    olap = MakeOlapSpec(rig->catalog(), 1, 1, seed);
+    oltp = MakeOltpSpec(rig->catalog(), "C_", 9, 5.0);
+    if (!oltp.ok()) {
+      std::fprintf(stderr, "oltp: %s\n", oltp.status().ToString().c_str());
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+    return 2;
+  }
+  if (!olap.ok()) {
+    std::fprintf(stderr, "spec: %s\n", olap.status().ToString().c_str());
+    return 1;
+  }
+
+  const Layout see = Layout::StripeEverythingEverywhere(
+      rig->catalog().num_objects(), rig->num_targets());
+  auto workloads =
+      rig->FitWorkloads(see, &*olap, oltp.ok() ? &*oltp : nullptr);
+  if (!workloads.ok()) {
+    std::fprintf(stderr, "fit: %s\n",
+                 workloads.status().ToString().c_str());
+    return 1;
+  }
+  auto problem = rig->MakeProblem(std::move(workloads).value());
+  if (!problem.ok()) {
+    std::fprintf(stderr, "problem: %s\n",
+                 problem.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(FormatProblemText(*problem).c_str(), stdout);
+  std::fprintf(stderr, "fitted %d objects from %s at scale %.3g\n",
+               problem->num_objects(), workload.c_str(), scale);
+  return 0;
+}
