@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_raid.dir/bench_ablation_raid.cc.o"
+  "CMakeFiles/bench_ablation_raid.dir/bench_ablation_raid.cc.o.d"
+  "bench_ablation_raid"
+  "bench_ablation_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_costmodel.dir/bench_fig08_costmodel.cc.o"
+  "CMakeFiles/bench_fig08_costmodel.dir/bench_fig08_costmodel.cc.o.d"
+  "bench_fig08_costmodel"
+  "bench_fig08_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_utilizations.dir/bench_fig13_utilizations.cc.o"
+  "CMakeFiles/bench_fig13_utilizations.dir/bench_fig13_utilizations.cc.o.d"
+  "bench_fig13_utilizations"
+  "bench_fig13_utilizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_utilizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_ssd.dir/bench_fig18_ssd.cc.o"
+  "CMakeFiles/bench_fig18_ssd.dir/bench_fig18_ssd.cc.o.d"
+  "bench_fig18_ssd"
+  "bench_fig18_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

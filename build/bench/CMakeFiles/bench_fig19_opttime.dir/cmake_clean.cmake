@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_opttime.dir/bench_fig19_opttime.cc.o"
+  "CMakeFiles/bench_fig19_opttime.dir/bench_fig19_opttime.cc.o.d"
+  "bench_fig19_opttime"
+  "bench_fig19_opttime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_opttime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

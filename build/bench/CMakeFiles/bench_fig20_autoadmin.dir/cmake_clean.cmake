@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_autoadmin.dir/bench_fig20_autoadmin.cc.o"
+  "CMakeFiles/bench_fig20_autoadmin.dir/bench_fig20_autoadmin.cc.o.d"
+  "bench_fig20_autoadmin"
+  "bench_fig20_autoadmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_autoadmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libldb_bench_common.a"
+)

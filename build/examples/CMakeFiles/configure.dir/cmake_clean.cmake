@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configure.dir/configure.cpp.o"
+  "CMakeFiles/configure.dir/configure.cpp.o.d"
+  "configure"
+  "configure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/ldb_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/ldb_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/autoadmin.cc" "src/core/CMakeFiles/ldb_core.dir/autoadmin.cc.o" "gcc" "src/core/CMakeFiles/ldb_core.dir/autoadmin.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/ldb_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/ldb_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/configurator.cc" "src/core/CMakeFiles/ldb_core.dir/configurator.cc.o" "gcc" "src/core/CMakeFiles/ldb_core.dir/configurator.cc.o.d"
+  "/root/repo/src/core/harness.cc" "src/core/CMakeFiles/ldb_core.dir/harness.cc.o" "gcc" "src/core/CMakeFiles/ldb_core.dir/harness.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/core/CMakeFiles/ldb_core.dir/incremental.cc.o" "gcc" "src/core/CMakeFiles/ldb_core.dir/incremental.cc.o.d"
+  "/root/repo/src/core/initial.cc" "src/core/CMakeFiles/ldb_core.dir/initial.cc.o" "gcc" "src/core/CMakeFiles/ldb_core.dir/initial.cc.o.d"
+  "/root/repo/src/core/problem.cc" "src/core/CMakeFiles/ldb_core.dir/problem.cc.o" "gcc" "src/core/CMakeFiles/ldb_core.dir/problem.cc.o.d"
+  "/root/repo/src/core/problem_io.cc" "src/core/CMakeFiles/ldb_core.dir/problem_io.cc.o" "gcc" "src/core/CMakeFiles/ldb_core.dir/problem_io.cc.o.d"
+  "/root/repo/src/core/regularize.cc" "src/core/CMakeFiles/ldb_core.dir/regularize.cc.o" "gcc" "src/core/CMakeFiles/ldb_core.dir/regularize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/ldb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ldb_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ldb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ldb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ldb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

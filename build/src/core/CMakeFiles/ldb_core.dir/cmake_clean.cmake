@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldb_core.dir/advisor.cc.o"
+  "CMakeFiles/ldb_core.dir/advisor.cc.o.d"
+  "CMakeFiles/ldb_core.dir/autoadmin.cc.o"
+  "CMakeFiles/ldb_core.dir/autoadmin.cc.o.d"
+  "CMakeFiles/ldb_core.dir/baselines.cc.o"
+  "CMakeFiles/ldb_core.dir/baselines.cc.o.d"
+  "CMakeFiles/ldb_core.dir/configurator.cc.o"
+  "CMakeFiles/ldb_core.dir/configurator.cc.o.d"
+  "CMakeFiles/ldb_core.dir/harness.cc.o"
+  "CMakeFiles/ldb_core.dir/harness.cc.o.d"
+  "CMakeFiles/ldb_core.dir/incremental.cc.o"
+  "CMakeFiles/ldb_core.dir/incremental.cc.o.d"
+  "CMakeFiles/ldb_core.dir/initial.cc.o"
+  "CMakeFiles/ldb_core.dir/initial.cc.o.d"
+  "CMakeFiles/ldb_core.dir/problem.cc.o"
+  "CMakeFiles/ldb_core.dir/problem.cc.o.d"
+  "CMakeFiles/ldb_core.dir/problem_io.cc.o"
+  "CMakeFiles/ldb_core.dir/problem_io.cc.o.d"
+  "CMakeFiles/ldb_core.dir/regularize.cc.o"
+  "CMakeFiles/ldb_core.dir/regularize.cc.o.d"
+  "libldb_core.a"
+  "libldb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

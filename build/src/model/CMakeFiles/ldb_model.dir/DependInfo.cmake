@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/calibration.cc" "src/model/CMakeFiles/ldb_model.dir/calibration.cc.o" "gcc" "src/model/CMakeFiles/ldb_model.dir/calibration.cc.o.d"
+  "/root/repo/src/model/constraints.cc" "src/model/CMakeFiles/ldb_model.dir/constraints.cc.o" "gcc" "src/model/CMakeFiles/ldb_model.dir/constraints.cc.o.d"
+  "/root/repo/src/model/cost_model.cc" "src/model/CMakeFiles/ldb_model.dir/cost_model.cc.o" "gcc" "src/model/CMakeFiles/ldb_model.dir/cost_model.cc.o.d"
+  "/root/repo/src/model/layout.cc" "src/model/CMakeFiles/ldb_model.dir/layout.cc.o" "gcc" "src/model/CMakeFiles/ldb_model.dir/layout.cc.o.d"
+  "/root/repo/src/model/layout_model.cc" "src/model/CMakeFiles/ldb_model.dir/layout_model.cc.o" "gcc" "src/model/CMakeFiles/ldb_model.dir/layout_model.cc.o.d"
+  "/root/repo/src/model/target_model.cc" "src/model/CMakeFiles/ldb_model.dir/target_model.cc.o" "gcc" "src/model/CMakeFiles/ldb_model.dir/target_model.cc.o.d"
+  "/root/repo/src/model/workload.cc" "src/model/CMakeFiles/ldb_model.dir/workload.cc.o" "gcc" "src/model/CMakeFiles/ldb_model.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ldb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ldb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldb_model.dir/calibration.cc.o"
+  "CMakeFiles/ldb_model.dir/calibration.cc.o.d"
+  "CMakeFiles/ldb_model.dir/constraints.cc.o"
+  "CMakeFiles/ldb_model.dir/constraints.cc.o.d"
+  "CMakeFiles/ldb_model.dir/cost_model.cc.o"
+  "CMakeFiles/ldb_model.dir/cost_model.cc.o.d"
+  "CMakeFiles/ldb_model.dir/layout.cc.o"
+  "CMakeFiles/ldb_model.dir/layout.cc.o.d"
+  "CMakeFiles/ldb_model.dir/layout_model.cc.o"
+  "CMakeFiles/ldb_model.dir/layout_model.cc.o.d"
+  "CMakeFiles/ldb_model.dir/target_model.cc.o"
+  "CMakeFiles/ldb_model.dir/target_model.cc.o.d"
+  "CMakeFiles/ldb_model.dir/workload.cc.o"
+  "CMakeFiles/ldb_model.dir/workload.cc.o.d"
+  "libldb_model.a"
+  "libldb_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldb_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

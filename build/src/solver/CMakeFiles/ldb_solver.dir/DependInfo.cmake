@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/multistart.cc" "src/solver/CMakeFiles/ldb_solver.dir/multistart.cc.o" "gcc" "src/solver/CMakeFiles/ldb_solver.dir/multistart.cc.o.d"
+  "/root/repo/src/solver/projected_gradient.cc" "src/solver/CMakeFiles/ldb_solver.dir/projected_gradient.cc.o" "gcc" "src/solver/CMakeFiles/ldb_solver.dir/projected_gradient.cc.o.d"
+  "/root/repo/src/solver/randomized.cc" "src/solver/CMakeFiles/ldb_solver.dir/randomized.cc.o" "gcc" "src/solver/CMakeFiles/ldb_solver.dir/randomized.cc.o.d"
+  "/root/repo/src/solver/simplex.cc" "src/solver/CMakeFiles/ldb_solver.dir/simplex.cc.o" "gcc" "src/solver/CMakeFiles/ldb_solver.dir/simplex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/ldb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ldb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

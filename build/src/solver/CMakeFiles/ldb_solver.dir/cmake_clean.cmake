@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldb_solver.dir/multistart.cc.o"
+  "CMakeFiles/ldb_solver.dir/multistart.cc.o.d"
+  "CMakeFiles/ldb_solver.dir/projected_gradient.cc.o"
+  "CMakeFiles/ldb_solver.dir/projected_gradient.cc.o.d"
+  "CMakeFiles/ldb_solver.dir/randomized.cc.o"
+  "CMakeFiles/ldb_solver.dir/randomized.cc.o.d"
+  "CMakeFiles/ldb_solver.dir/simplex.cc.o"
+  "CMakeFiles/ldb_solver.dir/simplex.cc.o.d"
+  "libldb_solver.a"
+  "libldb_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldb_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

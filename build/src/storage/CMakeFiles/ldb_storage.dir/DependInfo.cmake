@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk.cc" "src/storage/CMakeFiles/ldb_storage.dir/disk.cc.o" "gcc" "src/storage/CMakeFiles/ldb_storage.dir/disk.cc.o.d"
+  "/root/repo/src/storage/event_queue.cc" "src/storage/CMakeFiles/ldb_storage.dir/event_queue.cc.o" "gcc" "src/storage/CMakeFiles/ldb_storage.dir/event_queue.cc.o.d"
+  "/root/repo/src/storage/lvm.cc" "src/storage/CMakeFiles/ldb_storage.dir/lvm.cc.o" "gcc" "src/storage/CMakeFiles/ldb_storage.dir/lvm.cc.o.d"
+  "/root/repo/src/storage/ssd.cc" "src/storage/CMakeFiles/ldb_storage.dir/ssd.cc.o" "gcc" "src/storage/CMakeFiles/ldb_storage.dir/ssd.cc.o.d"
+  "/root/repo/src/storage/storage_system.cc" "src/storage/CMakeFiles/ldb_storage.dir/storage_system.cc.o" "gcc" "src/storage/CMakeFiles/ldb_storage.dir/storage_system.cc.o.d"
+  "/root/repo/src/storage/target.cc" "src/storage/CMakeFiles/ldb_storage.dir/target.cc.o" "gcc" "src/storage/CMakeFiles/ldb_storage.dir/target.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ldb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldb_storage.dir/disk.cc.o"
+  "CMakeFiles/ldb_storage.dir/disk.cc.o.d"
+  "CMakeFiles/ldb_storage.dir/event_queue.cc.o"
+  "CMakeFiles/ldb_storage.dir/event_queue.cc.o.d"
+  "CMakeFiles/ldb_storage.dir/lvm.cc.o"
+  "CMakeFiles/ldb_storage.dir/lvm.cc.o.d"
+  "CMakeFiles/ldb_storage.dir/ssd.cc.o"
+  "CMakeFiles/ldb_storage.dir/ssd.cc.o.d"
+  "CMakeFiles/ldb_storage.dir/storage_system.cc.o"
+  "CMakeFiles/ldb_storage.dir/storage_system.cc.o.d"
+  "CMakeFiles/ldb_storage.dir/target.cc.o"
+  "CMakeFiles/ldb_storage.dir/target.cc.o.d"
+  "libldb_storage.a"
+  "libldb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libldb_storage.a"
+)

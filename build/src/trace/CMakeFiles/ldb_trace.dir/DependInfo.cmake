@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analyzer.cc" "src/trace/CMakeFiles/ldb_trace.dir/analyzer.cc.o" "gcc" "src/trace/CMakeFiles/ldb_trace.dir/analyzer.cc.o.d"
+  "/root/repo/src/trace/replay.cc" "src/trace/CMakeFiles/ldb_trace.dir/replay.cc.o" "gcc" "src/trace/CMakeFiles/ldb_trace.dir/replay.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/ldb_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/ldb_trace.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/ldb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ldb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldb_trace.dir/analyzer.cc.o"
+  "CMakeFiles/ldb_trace.dir/analyzer.cc.o.d"
+  "CMakeFiles/ldb_trace.dir/replay.cc.o"
+  "CMakeFiles/ldb_trace.dir/replay.cc.o.d"
+  "CMakeFiles/ldb_trace.dir/trace.cc.o"
+  "CMakeFiles/ldb_trace.dir/trace.cc.o.d"
+  "libldb_trace.a"
+  "libldb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldb_util.dir/interp.cc.o"
+  "CMakeFiles/ldb_util.dir/interp.cc.o.d"
+  "CMakeFiles/ldb_util.dir/random.cc.o"
+  "CMakeFiles/ldb_util.dir/random.cc.o.d"
+  "CMakeFiles/ldb_util.dir/status.cc.o"
+  "CMakeFiles/ldb_util.dir/status.cc.o.d"
+  "CMakeFiles/ldb_util.dir/table.cc.o"
+  "CMakeFiles/ldb_util.dir/table.cc.o.d"
+  "CMakeFiles/ldb_util.dir/units.cc.o"
+  "CMakeFiles/ldb_util.dir/units.cc.o.d"
+  "libldb_util.a"
+  "libldb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

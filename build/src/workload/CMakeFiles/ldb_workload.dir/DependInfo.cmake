@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog.cc" "src/workload/CMakeFiles/ldb_workload.dir/catalog.cc.o" "gcc" "src/workload/CMakeFiles/ldb_workload.dir/catalog.cc.o.d"
+  "/root/repo/src/workload/estimator.cc" "src/workload/CMakeFiles/ldb_workload.dir/estimator.cc.o" "gcc" "src/workload/CMakeFiles/ldb_workload.dir/estimator.cc.o.d"
+  "/root/repo/src/workload/runner.cc" "src/workload/CMakeFiles/ldb_workload.dir/runner.cc.o" "gcc" "src/workload/CMakeFiles/ldb_workload.dir/runner.cc.o.d"
+  "/root/repo/src/workload/spec.cc" "src/workload/CMakeFiles/ldb_workload.dir/spec.cc.o" "gcc" "src/workload/CMakeFiles/ldb_workload.dir/spec.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/workload/CMakeFiles/ldb_workload.dir/tpch.cc.o" "gcc" "src/workload/CMakeFiles/ldb_workload.dir/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/ldb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ldb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

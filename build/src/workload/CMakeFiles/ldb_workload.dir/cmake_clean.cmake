@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldb_workload.dir/catalog.cc.o"
+  "CMakeFiles/ldb_workload.dir/catalog.cc.o.d"
+  "CMakeFiles/ldb_workload.dir/estimator.cc.o"
+  "CMakeFiles/ldb_workload.dir/estimator.cc.o.d"
+  "CMakeFiles/ldb_workload.dir/runner.cc.o"
+  "CMakeFiles/ldb_workload.dir/runner.cc.o.d"
+  "CMakeFiles/ldb_workload.dir/spec.cc.o"
+  "CMakeFiles/ldb_workload.dir/spec.cc.o.d"
+  "CMakeFiles/ldb_workload.dir/tpch.cc.o"
+  "CMakeFiles/ldb_workload.dir/tpch.cc.o.d"
+  "libldb_workload.a"
+  "libldb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configurator_test.dir/configurator_test.cc.o"
+  "CMakeFiles/configurator_test.dir/configurator_test.cc.o.d"
+  "configurator_test"
+  "configurator_test.pdb"
+  "configurator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configurator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

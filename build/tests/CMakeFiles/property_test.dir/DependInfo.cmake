@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ldb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ldb_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ldb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ldb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ldb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ldb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

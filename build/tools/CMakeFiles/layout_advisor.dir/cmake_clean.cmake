@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_advisor.dir/layout_advisor.cc.o"
+  "CMakeFiles/layout_advisor.dir/layout_advisor.cc.o.d"
+  "layout_advisor"
+  "layout_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

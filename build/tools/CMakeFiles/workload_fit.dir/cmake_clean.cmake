@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_fit.dir/workload_fit.cc.o"
+  "CMakeFiles/workload_fit.dir/workload_fit.cc.o.d"
+  "workload_fit"
+  "workload_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
