@@ -18,10 +18,96 @@ BenchEnv ParseBenchEnv(int argc, char** argv) {
       env.scale = std::atof(argv[a] + 8);
     } else if (std::strncmp(argv[a], "--seed=", 7) == 0) {
       env.seed = static_cast<uint64_t>(std::atoll(argv[a] + 7));
+    } else if (std::strncmp(argv[a], "--threads=", 10) == 0) {
+      env.num_threads = std::atoi(argv[a] + 10);
+    } else if (std::strcmp(argv[a], "--json") == 0) {
+      env.json = true;
+      env.json_path = "-";
+    } else if (std::strncmp(argv[a], "--json=", 7) == 0) {
+      env.json = true;
+      env.json_path = argv[a] + 7;
     }
   }
   LDB_CHECK_GT(env.scale, 0.0);
+  LDB_CHECK_GE(env.num_threads, 0);
   return env;
+}
+
+void JsonRows::BeginRow() { rows_.emplace_back(); }
+
+void JsonRows::Append(const std::string& name, const std::string& rendered) {
+  LDB_CHECK(!rows_.empty());
+  std::string& row = rows_.back();
+  if (!row.empty()) row += ",";
+  row += "\"";
+  row += name;
+  row += "\":";
+  row += rendered;
+}
+
+namespace {
+std::string JsonEscape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+void JsonRows::Field(const std::string& name, const std::string& value) {
+  Append(name, JsonEscape(value));
+}
+void JsonRows::Field(const std::string& name, const char* value) {
+  Append(name, JsonEscape(value));
+}
+void JsonRows::Field(const std::string& name, double value) {
+  Append(name, StrFormat("%.9g", value));
+}
+void JsonRows::Field(const std::string& name, int64_t value) {
+  Append(name, StrFormat("%lld", static_cast<long long>(value)));
+}
+void JsonRows::Field(const std::string& name, int value) {
+  Field(name, static_cast<int64_t>(value));
+}
+void JsonRows::Field(const std::string& name, bool value) {
+  Append(name, value ? "true" : "false");
+}
+
+std::string JsonRows::ToString() const {
+  std::string out = "[";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out += ",";
+    out += "\n  {";
+    out += rows_[r];
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool JsonRows::WriteTo(const std::string& path) const {
+  const std::string text = ToString();
+  if (path.empty() || path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 void PrintHeader(const char* figure, const char* description,

@@ -24,11 +24,45 @@ namespace bench {
 struct BenchEnv {
   double scale = 0.05;
   uint64_t seed = 7;
+  /// Solver threads for the "parallel" benchmark configurations:
+  /// 0 = one per hardware core (default), n = exactly n.
+  int num_threads = 0;
+  /// When --json is given, machine-readable results are written here
+  /// ("-" = stdout) in addition to the human-readable tables.
+  std::string json_path;
+  bool json = false;
 };
 
-/// Parses --scale=<f> and --seed=<n> from argv (ignores anything else, so
-/// binaries still run under blanket bench runners).
+/// Parses --scale=<f>, --seed=<n>, --threads=<n>, and --json[=path] from
+/// argv (ignores anything else, so binaries still run under blanket bench
+/// runners).
 BenchEnv ParseBenchEnv(int argc, char** argv);
+
+/// Minimal JSON emitter for benchmark results: a flat array of objects
+/// with string / double / integer fields. No dependency, no cleverness —
+/// just enough for scripts to scrape benchmark output reliably.
+class JsonRows {
+ public:
+  void BeginRow();
+  void Field(const std::string& name, const std::string& value);
+  void Field(const std::string& name, const char* value);
+  void Field(const std::string& name, double value);
+  void Field(const std::string& name, int64_t value);
+  void Field(const std::string& name, int value);
+  void Field(const std::string& name, bool value);
+
+  /// The accumulated rows as a JSON array.
+  std::string ToString() const;
+
+  /// Writes ToString() to `path` ("-" or empty = stdout). Returns false on
+  /// I/O failure.
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  void Append(const std::string& name, const std::string& rendered);
+
+  std::vector<std::string> rows_;
+};
 
 /// Prints the standard benchmark banner.
 void PrintHeader(const char* figure, const char* description,

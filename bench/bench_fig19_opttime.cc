@@ -8,6 +8,13 @@
 // Shapes to reproduce: seconds-to-minutes totals at these scales, time
 // growing with both N and M, and solver time dominating regularization.
 //
+// On top of the paper's figure, each row also benchmarks the solver's
+// evaluation engine: the pre-cache baseline (full µ_j recomputation per
+// finite-difference perturbation, serial) against the incremental column
+// cache, serially and with --threads workers. The engine must produce the
+// same final max-utilization for every thread count; the baseline column
+// is what makes the speedup measurable.
+//
 // As in the paper's timing experiment, the advisor runs from a single
 // initial layout (no multi-start).
 
@@ -15,6 +22,7 @@
 
 #include "bench/bench_common.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace ldb;
 using namespace ldb::bench;
@@ -107,33 +115,99 @@ int main(int argc, char** argv) {
       {"4xconsolidation", &*base40, 4, 10},
   };
 
-  AdvisorOptions options;
-  options.extra_random_seeds = 0;  // paper's timing runs: one initial layout
-  LayoutAdvisor advisor(options);
+  // Three engine configurations per row. "baseline" is the pre-cache
+  // serial evaluator; "engine" adds the incremental column cache; "mt"
+  // additionally fans the finite-difference columns out over threads.
+  const int mt_threads = ThreadPool::EffectiveThreads(env.num_threads);
+  AdvisorOptions baseline_opts;
+  baseline_opts.extra_random_seeds = 0;  // paper timing runs: one seed
+  baseline_opts.solver.use_incremental_cache = false;
+  baseline_opts.solver.num_threads = 1;
+  AdvisorOptions engine_opts = baseline_opts;
+  engine_opts.solver.use_incremental_cache = true;
+  AdvisorOptions mt_opts = engine_opts;
+  mt_opts.solver.num_threads = mt_threads;
+  const LayoutAdvisor baseline_advisor(baseline_opts);
+  const LayoutAdvisor engine_advisor(engine_opts);
+  const LayoutAdvisor mt_advisor(mt_opts);
 
-  TextTable table({"Workload", "N", "M", "Solver (s)", "Regularization (s)",
-                   "Total (s)"});
+  TextTable table({"Workload", "N", "M", "Base (s)", "Cache (s)",
+                   StrFormat("x%d thr (s)", mt_threads), "Speedup",
+                   "Full evals", "Incr evals", "Regular. (s)"});
+  JsonRows json;
   double previous_total = 0.0;
   bool monotone = true;
+  bool deterministic = true;
   for (const Row& row : rows) {
     LayoutProblem problem = row.copies == 1
                                 ? *row.base
                                 : ReplicateObjects(*row.base, row.copies);
     UseTargets(&problem, disk_proto, row.m);
-    auto rec = advisor.Recommend(problem);
-    if (!rec.ok()) {
-      std::fprintf(stderr, "advisor (%s, M=%d): %s\n", row.workload, row.m,
-                   rec.status().ToString().c_str());
+    auto base_rec = baseline_advisor.Recommend(problem);
+    auto engine_rec = engine_advisor.Recommend(problem);
+    auto mt_rec = mt_advisor.Recommend(problem);
+    if (!base_rec.ok() || !engine_rec.ok() || !mt_rec.ok()) {
+      std::fprintf(
+          stderr, "advisor (%s, M=%d): %s\n", row.workload, row.m,
+          (!base_rec.ok()   ? base_rec.status()
+           : !engine_rec.ok() ? engine_rec.status()
+                              : mt_rec.status())
+              .ToString()
+              .c_str());
       return 1;
     }
+    // Thread-count invariance: the threaded engine must land on exactly
+    // the serial engine's answer.
+    const bool same =
+        mt_rec->solver_stats.max_utilization ==
+            engine_rec->solver_stats.max_utilization &&
+        mt_rec->solver_stats.layout == engine_rec->solver_stats.layout;
+    deterministic = deterministic && same;
+
+    const double speedup =
+        mt_rec->solver_seconds > 0.0
+            ? base_rec->solver_seconds / mt_rec->solver_seconds
+            : 0.0;
     table.AddRow({row.workload, StrFormat("%d", problem.num_objects()),
                   StrFormat("%d", row.m),
-                  StrFormat("%.2f", rec->solver_seconds),
-                  StrFormat("%.2f", rec->regularization_seconds),
-                  StrFormat("%.2f", rec->total_seconds())});
+                  StrFormat("%.2f", base_rec->solver_seconds),
+                  StrFormat("%.2f", engine_rec->solver_seconds),
+                  StrFormat("%.2f%s", mt_rec->solver_seconds,
+                            same ? "" : " [MISMATCH]"),
+                  StrFormat("%.1fx", speedup),
+                  StrFormat("%lld/%lld",
+                            static_cast<long long>(
+                                base_rec->solver_stats.objective_evaluations),
+                            static_cast<long long>(
+                                mt_rec->solver_stats.objective_evaluations)),
+                  StrFormat("%lld",
+                            static_cast<long long>(
+                                mt_rec->solver_stats.incremental_evaluations)),
+                  StrFormat("%.2f", mt_rec->regularization_seconds)});
+    if (env.json) {
+      json.BeginRow();
+      json.Field("workload", row.workload);
+      json.Field("n", problem.num_objects());
+      json.Field("m", row.m);
+      json.Field("threads", mt_threads);
+      json.Field("baseline_solver_seconds", base_rec->solver_seconds);
+      json.Field("cache_solver_seconds", engine_rec->solver_seconds);
+      json.Field("mt_solver_seconds", mt_rec->solver_seconds);
+      json.Field("speedup", speedup);
+      json.Field("baseline_objective_evaluations",
+                 base_rec->solver_stats.objective_evaluations);
+      json.Field("objective_evaluations",
+                 mt_rec->solver_stats.objective_evaluations);
+      json.Field("incremental_evaluations",
+                 mt_rec->solver_stats.incremental_evaluations);
+      json.Field("regularization_seconds", mt_rec->regularization_seconds);
+      json.Field("total_seconds", mt_rec->total_seconds());
+      json.Field("max_utilization", mt_rec->solver_stats.max_utilization);
+      json.Field("thread_invariant", same);
+    }
     if (row.copies > 1) {
-      monotone = monotone && rec->total_seconds() >= previous_total;
-      previous_total = rec->total_seconds();
+      monotone = monotone && mt_rec->total_seconds() >= previous_total;
+      previous_total = mt_rec->total_seconds();
     }
   }
   std::printf("%s\n", table.ToString().c_str());
@@ -141,5 +215,13 @@ int main(int argc, char** argv) {
       "Paper shapes: totals grow with N and M; solver time dominates "
       "regularization; replicated workloads scale it further %s\n",
       monotone ? "[ok]" : "[check rows]");
-  return 0;
+  std::printf(
+      "Engine: identical layouts and max-utilization across thread "
+      "counts %s\n",
+      deterministic ? "[ok]" : "[MISMATCH]");
+  if (env.json && !json.WriteTo(env.json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", env.json_path.c_str());
+    return 1;
+  }
+  return deterministic ? 0 : 1;
 }

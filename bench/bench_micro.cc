@@ -1,9 +1,15 @@
 // Micro-benchmarks (google-benchmark) of the hot kernels: device service
 // times, the simulator's event throughput, LVM mapping, cost-model
 // interpolation, the target model's utilization computation (the solver's
-// inner loop), simplex projection, and a small end-to-end solve.
+// inner loop), the incremental column evaluator, simplex projection, and a
+// small end-to-end solve.
+//
+// --json[=path] maps onto google-benchmark's JSON reporters, so every
+// benchmark binary in this repo shares one machine-readable flag.
 
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -135,6 +141,50 @@ void BM_TargetModelUtilizations(benchmark::State& state) {
 }
 BENCHMARK(BM_TargetModelUtilizations)->Arg(20)->Arg(40)->Arg(160);
 
+void BM_TargetModelColumnFull(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = 4;
+  Rng rng(3);
+  WorkloadSet ws = MakeWorkloads(n, &rng);
+  std::vector<TargetModelInfo> infos(
+      static_cast<size_t>(m),
+      TargetModelInfo{&SharedCostModel(), 1, 64 * kKiB});
+  TargetModel model(infos, LvmLayoutModel(64 * kKiB));
+  Layout layout = Layout::StripeEverythingEverywhere(n, m);
+  // The baseline engine's finite-difference unit of work: one full O(N²)
+  // column evaluation after perturbing one entry.
+  int i = 0;
+  for (auto _ : state) {
+    layout.Set(i, 0, 0.7);
+    benchmark::DoNotOptimize(model.TargetUtilization(ws, layout, 0));
+    layout.Set(i, 0, 1.0 / m);
+    i = (i + 1) % n;
+  }
+}
+BENCHMARK(BM_TargetModelColumnFull)->Arg(20)->Arg(40)->Arg(160);
+
+void BM_TargetModelColumnIncremental(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = 4;
+  Rng rng(3);
+  WorkloadSet ws = MakeWorkloads(n, &rng);
+  std::vector<TargetModelInfo> infos(
+      static_cast<size_t>(m),
+      TargetModelInfo{&SharedCostModel(), 1, 64 * kKiB});
+  TargetModel model(infos, LvmLayoutModel(64 * kKiB));
+  Layout layout = Layout::StripeEverythingEverywhere(n, m);
+  // The cached engine's unit of work: the same perturbation priced as a
+  // rank-1 update against the column context.
+  auto ctx = model.MakeColumnEvaluator(ws, 0);
+  ctx->Rebuild(layout);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx->WithObject(i, 0.7));
+    i = (i + 1) % n;
+  }
+}
+BENCHMARK(BM_TargetModelColumnIncremental)->Arg(20)->Arg(40)->Arg(160);
+
 void BM_SimplexProjection(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   Rng rng(4);
@@ -175,7 +225,60 @@ void BM_SolverSmallProblem(benchmark::State& state) {
 }
 BENCHMARK(BM_SolverSmallProblem);
 
+void BM_SolverSmallProblemCached(benchmark::State& state) {
+  const int n = 10, m = 4;
+  Rng rng(5);
+  WorkloadSet ws = MakeWorkloads(n, &rng);
+  std::vector<TargetModelInfo> infos(
+      static_cast<size_t>(m),
+      TargetModelInfo{&SharedCostModel(), 1, 64 * kKiB});
+  TargetModel model(infos, LvmLayoutModel(64 * kKiB));
+  LayoutNlpProblem nlp;
+  nlp.num_objects = n;
+  nlp.num_targets = m;
+  nlp.object_sizes.assign(static_cast<size_t>(n), kGiB);
+  nlp.target_capacities.assign(static_cast<size_t>(m), 20 * kGiB);
+  nlp.target_utilization = [&](const Layout& l, int j) {
+    return model.TargetUtilization(ws, l, j);
+  };
+  nlp.make_column_eval = [&](int j) { return model.MakeColumnEvaluator(ws, j); };
+  SolverOptions options;
+  options.annealing_rounds = 2;
+  options.max_iterations_per_round = 10;
+  ProjectedGradientSolver solver(options);
+  const Layout seed = Layout::StripeEverythingEverywhere(n, m);
+  for (auto _ : state) {
+    auto r = solver.Solve(nlp, seed);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_SolverSmallProblemCached);
+
 }  // namespace
 }  // namespace ldb
 
-BENCHMARK_MAIN();
+// Custom main: translate the repo-wide --json[=path] flag onto
+// google-benchmark's reporter options, pass everything else through.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<size_t>(argc) + 2);
+  for (int a = 0; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--json") == 0) {
+      storage.emplace_back("--benchmark_format=json");
+    } else if (std::strncmp(argv[a], "--json=", 7) == 0) {
+      storage.emplace_back(std::string("--benchmark_out=") + (argv[a] + 7));
+      storage.emplace_back("--benchmark_out_format=json");
+    } else {
+      storage.emplace_back(argv[a]);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,6 +13,9 @@ namespace ldb {
 
 /// Advisor configuration.
 struct AdvisorOptions {
+  /// Solver knobs, including the evaluation engine's `num_threads`
+  /// (parallel FD columns and multi-start seeds; results are identical
+  /// for every thread count) and `use_incremental_cache`.
   SolverOptions solver;
   RegularizerOptions regularizer;
   /// Produce a regular (LVM-implementable) final layout. When false the

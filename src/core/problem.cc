@@ -86,6 +86,9 @@ LayoutNlpProblem LayoutProblem::MakeNlp(const TargetModel* model) const {
                                                   int j) {
     return model->TargetUtilization(*workloads_ptr, layout, j);
   };
+  nlp.make_column_eval = [model, workloads_ptr](int j) {
+    return model->MakeColumnEvaluator(*workloads_ptr, j);
+  };
   return nlp;
 }
 

@@ -1,0 +1,44 @@
+#ifndef LAYOUTDB_MODEL_COLUMN_EVAL_H_
+#define LAYOUTDB_MODEL_COLUMN_EVAL_H_
+
+namespace ldb {
+
+class Layout;
+
+/// Incremental evaluator for one target utilization µ_j — the contract
+/// between a performance model and the NLP solver's finite-difference hot
+/// path.
+///
+/// The solver perturbs a single layout entry L_ij at a time (2·N·M times per
+/// gradient step). A from-scratch µ_j evaluation is O(N²) because of the
+/// pairwise interference term; an implementation of this interface caches
+/// the per-object rates and interference accumulators of a *base* layout so
+/// each perturbation becomes a rank-1 update that costs O(N).
+///
+/// Invariants implementations must keep:
+///  * Rebuild(L) must make Base() equal a from-scratch µ_j(L) evaluation;
+///  * WithObject(i, f) must equal the from-scratch µ_j of the base layout
+///    with entry (i, j) replaced by f (up to floating-point rounding of the
+///    reassociated sums), and must not mutate the base state — repeated
+///    calls never drift;
+///  * WithObject must be safe to call concurrently with other evaluators
+///    (the solver uses one evaluator per column, each owned by one task).
+class ColumnEvaluator {
+ public:
+  virtual ~ColumnEvaluator() = default;
+
+  /// Recomputes all cached state for a new base layout (one full O(N²)
+  /// column evaluation).
+  virtual void Rebuild(const Layout& layout) = 0;
+
+  /// µ_j of the base layout (cached; free).
+  virtual double Base() const = 0;
+
+  /// µ_j as if entry (i, j) of the base layout were `fraction`, every other
+  /// entry unchanged. Const: the base state is not modified.
+  virtual double WithObject(int i, double fraction) const = 0;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_MODEL_COLUMN_EVAL_H_

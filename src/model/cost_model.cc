@@ -75,9 +75,9 @@ double CostModel::Cost(bool is_write, double request_size_bytes,
   LDB_CHECK_GT(request_size_bytes, 0.0);
   LDB_CHECK_GE(run_count, 1.0);
   LDB_CHECK_GE(contention, 0.0);
-  const std::vector<double> point{std::log2(request_size_bytes),
-                                  std::log2(run_count), contention};
-  return is_write ? write_.At(point) : read_.At(point);
+  const double point[3] = {std::log2(request_size_bytes),
+                           std::log2(run_count), contention};
+  return is_write ? write_.At(point, 3) : read_.At(point, 3);
 }
 
 std::string CostModel::ToText() const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/check.h"
 
@@ -63,61 +64,67 @@ double TargetModel::TargetUtilizationInternal(
     const double chi =
         interfering / rate_ij + wi.overlap[static_cast<size_t>(i)];
 
-    // Per-request member-busy-seconds, normalized by the member count so
-    // the result is a utilization contribution.
-    //
-    // RAID0: a request of B bytes touches `involved` members, each
-    // transferring ~B/involved: involved * Cost(B/involved) / k.
-    // RAID1: reads land on one member (Cost(B)/k); writes go to every
-    // member (k * Cost(B) / k = Cost(B)).
-    // RAID5: reads stripe over the k-1 data members like RAID0; writes add
-    // a parity read-modify-write (~2 extra chunk accesses per row).
-    auto member_cost = [&](bool is_write, double size) {
-      if (size <= 0.0) return 0.0;
-      const double k = tgt.num_members;
-      const double chunks =
-          std::ceil(size / static_cast<double>(tgt.stripe_bytes));
-      switch (tgt.raid_level) {
-        case RaidLevel::kRaid1: {
-          const double cost =
-              tgt.cost_model->Cost(is_write, size, wij.run_count, chi);
-          return is_write ? cost : cost / k;
-        }
-        case RaidLevel::kRaid5: {
-          const double data_cols = std::max(1.0, k - 1);
-          const double involved = std::min(data_cols, std::max(1.0, chunks));
-          const double per_member_size = size / involved;
-          double busy = involved * tgt.cost_model->Cost(is_write,
-                                                        per_member_size,
-                                                        wij.run_count, chi);
-          if (is_write) {
-            // Parity RMW: one read + one write of a chunk-sized extent on
-            // the parity member per touched row.
-            const double rows = std::max(1.0, chunks / data_cols);
-            const double parity_size =
-                std::min(size, static_cast<double>(tgt.stripe_bytes));
-            busy += rows * (tgt.cost_model->Cost(false, parity_size,
-                                                 wij.run_count, chi) +
-                            tgt.cost_model->Cost(true, parity_size,
-                                                 wij.run_count, chi));
-          }
-          return busy / k;
-        }
-        case RaidLevel::kRaid0:
-          break;
-      }
-      const double involved = std::min(k, std::max(1.0, chunks));
-      const double per_member_size = size / involved;
-      return tgt.cost_model->Cost(is_write, per_member_size, wij.run_count,
-                                  chi) *
-             involved / k;
-    };
-    const double mu_ij = wij.read_rate * member_cost(false, wij.read_size) +
-                         wij.write_rate * member_cost(true, wij.write_size);
+    const double mu_ij = PerObjectUtilization(tgt, wij, chi);
     if (mu_i != nullptr) (*mu_i)[static_cast<size_t>(i)] = mu_ij;
     mu_j += mu_ij;
   }
   return mu_j;
+}
+
+double TargetModel::PerObjectUtilization(const TargetModelInfo& tgt,
+                                         const PerTargetWorkload& wij,
+                                         double chi) const {
+  // Per-request member-busy-seconds, normalized by the member count so
+  // the result is a utilization contribution.
+  //
+  // RAID0: a request of B bytes touches `involved` members, each
+  // transferring ~B/involved: involved * Cost(B/involved) / k.
+  // RAID1: reads land on one member (Cost(B)/k); writes go to every
+  // member (k * Cost(B) / k = Cost(B)).
+  // RAID5: reads stripe over the k-1 data members like RAID0; writes add
+  // a parity read-modify-write (~2 extra chunk accesses per row).
+  auto member_cost = [&](bool is_write, double size) {
+    if (size <= 0.0) return 0.0;
+    const double k = tgt.num_members;
+    const double chunks =
+        std::ceil(size / static_cast<double>(tgt.stripe_bytes));
+    switch (tgt.raid_level) {
+      case RaidLevel::kRaid1: {
+        const double cost =
+            tgt.cost_model->Cost(is_write, size, wij.run_count, chi);
+        return is_write ? cost : cost / k;
+      }
+      case RaidLevel::kRaid5: {
+        const double data_cols = std::max(1.0, k - 1);
+        const double involved = std::min(data_cols, std::max(1.0, chunks));
+        const double per_member_size = size / involved;
+        double busy = involved * tgt.cost_model->Cost(is_write,
+                                                      per_member_size,
+                                                      wij.run_count, chi);
+        if (is_write) {
+          // Parity RMW: one read + one write of a chunk-sized extent on
+          // the parity member per touched row.
+          const double rows = std::max(1.0, chunks / data_cols);
+          const double parity_size =
+              std::min(size, static_cast<double>(tgt.stripe_bytes));
+          busy += rows * (tgt.cost_model->Cost(false, parity_size,
+                                               wij.run_count, chi) +
+                          tgt.cost_model->Cost(true, parity_size,
+                                               wij.run_count, chi));
+        }
+        return busy / k;
+      }
+      case RaidLevel::kRaid0:
+        break;
+    }
+    const double involved = std::min(k, std::max(1.0, chunks));
+    const double per_member_size = size / involved;
+    return tgt.cost_model->Cost(is_write, per_member_size, wij.run_count,
+                                chi) *
+           involved / k;
+  };
+  return wij.read_rate * member_cost(false, wij.read_size) +
+         wij.write_rate * member_cost(true, wij.write_size);
 }
 
 double TargetModel::TargetUtilization(const WorkloadSet& workloads,
@@ -157,6 +164,184 @@ double TargetModel::MaxUtilization(const WorkloadSet& workloads,
                                    const Layout& layout) const {
   const std::vector<double> mu = Utilizations(workloads, layout);
   return *std::max_element(mu.begin(), mu.end());
+}
+
+namespace {
+
+/// The incremental column-evaluation context behind
+/// TargetModel::MakeColumnEvaluator.
+///
+/// Rebuild caches, for one target column j under a base layout:
+///  * the transformed per-target workload W_kj and its rate for every
+///    object k (perturbing object i leaves every other W_kj unchanged);
+///  * each object's interference accumulator Σ_{l≠k} rate_lj · O_k[l] —
+///    the O(N²) part of a from-scratch evaluation;
+///  * each object's µ_kj, and the linear segment of µ_kj as a function of
+///    its contention factor χ_k. Cost tables are multilinear over the
+///    calibration grid, so with W_kj fixed µ_kj is piecewise-linear in χ
+///    (constant beyond the axis ends, where lookups clamp).
+///
+/// WithObject(i, f) then reprices the column in O(N): object i's own term
+/// is re-evaluated against the cost tables (its sizes/run count change with
+/// the fraction), while every other object's term moves only through its χ,
+/// which shifts by a rank-1 delta and is usually repriced by interpolating
+/// the cached segment — no table lookup, no allocation.
+class TargetColumnContext final : public ColumnEvaluator {
+ public:
+  TargetColumnContext(const TargetModel* model, const WorkloadSet* workloads,
+                      int j)
+      : model_(model), workloads_(workloads), j_(j) {}
+
+  void Rebuild(const Layout& layout) override {
+    const int n = layout.num_objects();
+    const size_t un = static_cast<size_t>(n);
+    const TargetModelInfo& tgt = model_->target_info(j_);
+    per_.resize(un);
+    rate_.resize(un);
+    interfering_.resize(un);
+    mu_.assign(un, 0.0);
+    seg_lo_.resize(un);
+    seg_hi_.resize(un);
+    mu_seg_lo_.resize(un);
+    mu_seg_hi_.resize(un);
+
+    for (int i = 0; i < n; ++i) {
+      per_[static_cast<size_t>(i)] = model_->layout_model().Transform(
+          (*workloads_)[static_cast<size_t>(i)],
+          std::max(0.0, layout.At(i, j_)));
+      const double r = per_[static_cast<size_t>(i)].total_rate();
+      // Treat below-epsilon rates as exactly absent so rank-1 deltas match
+      // the from-scratch evaluation's presence filter.
+      rate_[static_cast<size_t>(i)] = r <= kRateEpsilon ? 0.0 : r;
+    }
+
+    mu_j_ = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const size_t ui = static_cast<size_t>(i);
+      const WorkloadDesc& wi = (*workloads_)[ui];
+      // The interference accumulator is cached even for absent objects:
+      // the solver perturbs their fraction away from zero and then needs
+      // their χ without an O(N) rescan.
+      double interfering = 0.0;
+      for (int k = 0; k < n; ++k) {
+        if (k == i) continue;
+        const double rate_kj = rate_[static_cast<size_t>(k)];
+        if (rate_kj <= 0.0) continue;
+        interfering += rate_kj * wi.overlap[static_cast<size_t>(k)];
+      }
+      interfering_[ui] = interfering;
+      if (rate_[ui] <= 0.0) {
+        seg_lo_[ui] = 0.0;
+        seg_hi_[ui] = -1.0;  // empty segment: never consulted
+        mu_seg_lo_[ui] = mu_seg_hi_[ui] = 0.0;
+        continue;
+      }
+      const double chi = interfering / rate_[ui] + wi.overlap[ui];
+      mu_[ui] = model_->PerObjectUtilization(tgt, per_[ui], chi);
+      mu_j_ += mu_[ui];
+      CacheChiSegment(tgt, ui, chi);
+    }
+  }
+
+  double Base() const override { return mu_j_; }
+
+  double WithObject(int i, double fraction) const override {
+    const size_t ui = static_cast<size_t>(i);
+    const int n = static_cast<int>(rate_.size());
+    const TargetModelInfo& tgt = model_->target_info(j_);
+    const WorkloadDesc& wi = (*workloads_)[ui];
+
+    const PerTargetWorkload wij =
+        model_->layout_model().Transform(wi, std::max(0.0, fraction));
+    double ri = wij.total_rate();
+    if (ri <= kRateEpsilon) ri = 0.0;
+
+    // Swap out object i's own term. Its request sizes and run count change
+    // with the fraction, so this term needs real cost-table lookups.
+    double mu = mu_j_ - mu_[ui];
+    if (ri > 0.0) {
+      const double chi = interfering_[ui] / ri + wi.overlap[ui];
+      mu += model_->PerObjectUtilization(tgt, wij, chi);
+    }
+
+    // Every other object's term moves only through its contention factor:
+    // χ_k shifts by delta · O_k[i] / rate_k. Reprice via the cached linear
+    // segment when the new χ stays inside it; fall back to a table lookup
+    // when the perturbation crosses a grid cell.
+    const double delta = ri - rate_[ui];
+    if (delta != 0.0) {
+      for (int k = 0; k < n; ++k) {
+        if (k == i) continue;
+        const size_t uk = static_cast<size_t>(k);
+        const double rk = rate_[uk];
+        if (rk <= 0.0) continue;
+        const WorkloadDesc& wk = (*workloads_)[uk];
+        const double o = wk.overlap[ui];
+        if (o == 0.0) continue;
+        const double chi =
+            (interfering_[uk] + delta * o) / rk + wk.overlap[uk];
+        double mu_k;
+        if (chi >= seg_lo_[uk] && chi <= seg_hi_[uk]) {
+          mu_k = mu_seg_lo_[uk] == mu_seg_hi_[uk]
+                     ? mu_seg_lo_[uk]
+                     : mu_seg_lo_[uk] + (chi - seg_lo_[uk]) /
+                                            (seg_hi_[uk] - seg_lo_[uk]) *
+                                            (mu_seg_hi_[uk] - mu_seg_lo_[uk]);
+        } else {
+          mu_k = model_->PerObjectUtilization(tgt, per_[uk], chi);
+        }
+        mu += mu_k - mu_[uk];
+      }
+    }
+    return mu;
+  }
+
+ private:
+  /// Caches the χ-segment of object `ui`'s µ as (lo, hi, µ(lo), µ(hi)).
+  /// Beyond the axis ends lookups clamp, so those segments are flat.
+  void CacheChiSegment(const TargetModelInfo& tgt, size_t ui, double chi) {
+    const std::vector<double>& axis = tgt.cost_model->contention_axis();
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    if (axis.size() < 2 || chi >= axis.back()) {
+      seg_lo_[ui] = axis.size() < 2 ? -kInf : axis.back();
+      seg_hi_[ui] = kInf;
+      mu_seg_lo_[ui] = mu_seg_hi_[ui] = mu_[ui];
+      return;
+    }
+    if (chi <= axis.front()) {
+      seg_lo_[ui] = -kInf;
+      seg_hi_[ui] = axis.front();
+      mu_seg_lo_[ui] = mu_seg_hi_[ui] = mu_[ui];
+      return;
+    }
+    const auto it = std::upper_bound(axis.begin(), axis.end(), chi);
+    const size_t hi = static_cast<size_t>(it - axis.begin());
+    seg_lo_[ui] = axis[hi - 1];
+    seg_hi_[ui] = axis[hi];
+    mu_seg_lo_[ui] = model_->PerObjectUtilization(tgt, per_[ui], seg_lo_[ui]);
+    mu_seg_hi_[ui] = model_->PerObjectUtilization(tgt, per_[ui], seg_hi_[ui]);
+  }
+
+  const TargetModel* model_;
+  const WorkloadSet* workloads_;
+  const int j_;
+
+  std::vector<PerTargetWorkload> per_;
+  std::vector<double> rate_;
+  std::vector<double> interfering_;
+  std::vector<double> mu_;
+  std::vector<double> seg_lo_, seg_hi_;
+  std::vector<double> mu_seg_lo_, mu_seg_hi_;
+  double mu_j_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<ColumnEvaluator> TargetModel::MakeColumnEvaluator(
+    const WorkloadSet& workloads, int j) const {
+  LDB_CHECK_GE(j, 0);
+  LDB_CHECK_LT(j, num_targets());
+  return std::make_unique<TargetColumnContext>(this, &workloads, j);
 }
 
 }  // namespace ldb

@@ -1,8 +1,10 @@
 #ifndef LAYOUTDB_MODEL_TARGET_MODEL_H_
 #define LAYOUTDB_MODEL_TARGET_MODEL_H_
 
+#include <memory>
 #include <vector>
 
+#include "model/column_eval.h"
 #include "model/cost_model.h"
 #include "model/layout.h"
 #include "model/layout_model.h"
@@ -62,6 +64,24 @@ class TargetModel {
   /// max_j µ_j, the layout problem objective.
   double MaxUtilization(const WorkloadSet& workloads,
                         const Layout& layout) const;
+
+  /// µ_ij of one already-transformed per-target workload under contention
+  /// factor `chi` (the Eq. 1 term, including the RAID member-cost
+  /// accounting). Exposed for the incremental column evaluator; all
+  /// utilization paths share this computation.
+  double PerObjectUtilization(const TargetModelInfo& target,
+                              const PerTargetWorkload& wij, double chi) const;
+
+  const TargetModelInfo& target_info(int j) const {
+    return targets_[static_cast<size_t>(j)];
+  }
+
+  /// Creates an incremental evaluator for column `j` (see
+  /// model/column_eval.h). `workloads` must outlive the evaluator; call
+  /// Rebuild before the first use. Evaluators are independent — the solver
+  /// holds one per column and uses them concurrently.
+  std::unique_ptr<ColumnEvaluator> MakeColumnEvaluator(
+      const WorkloadSet& workloads, int j) const;
 
  private:
   /// Shared implementation: µ_j for one target, optionally with the

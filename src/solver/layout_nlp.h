@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "model/column_eval.h"
 #include "model/constraints.h"
 #include "model/layout.h"
 
@@ -21,8 +23,19 @@ struct LayoutNlpProblem {
   std::vector<int64_t> target_capacities; ///< c_j, bytes
 
   /// µ_j under layout L. Must be defined for any L with entries in [0,1]
-  /// (rows need not sum exactly to 1 during finite differencing).
+  /// (rows need not sum exactly to 1 during finite differencing), and must
+  /// be safe to call concurrently from multiple threads when the solver
+  /// runs with num_threads > 1 (pure functions of their arguments are).
   std::function<double(const Layout& layout, int j)> target_utilization;
+
+  /// Optional fast path: a factory for incremental per-column evaluators
+  /// (see model/column_eval.h). When set, the solver prices its
+  /// finite-difference perturbations through rank-1 cache updates instead
+  /// of full µ_j recomputations — the difference between O(N²) and O(N)
+  /// per perturbed coordinate. When unset, `target_utilization` is used
+  /// for everything. Evaluators returned for distinct columns must be
+  /// independently usable from different threads.
+  std::function<std::unique_ptr<ColumnEvaluator>(int j)> make_column_eval;
 
   /// Administrative constraints (paper Section 4): allowed-target
   /// restrictions enter as a reduced feasible simplex per row; separation
@@ -45,6 +58,19 @@ struct SolverOptions {
   double smoothmax_growth = 2.5;   ///< temperature multiplier per round
   double penalty0 = 10.0;          ///< initial capacity-violation weight
   double penalty_growth = 4.0;     ///< penalty multiplier per round
+
+  /// Worker threads for the evaluation engine: 1 = fully serial (default),
+  /// 0 = one per hardware core, n > 1 = exactly n. Results are
+  /// bit-identical across thread counts — the finite-difference grid and
+  /// multi-start seeds are partitioned into index-addressed slots and all
+  /// reductions run serially in index order.
+  int num_threads = 1;
+
+  /// Use the problem's incremental column evaluators (when provided) for
+  /// finite-difference pricing. Off switches the solver back to full µ_j
+  /// recomputations per perturbation — the pre-cache engine, kept as the
+  /// benchmark baseline.
+  bool use_incremental_cache = true;
 };
 
 /// Outcome of one solver run.
@@ -52,7 +78,12 @@ struct SolverResult {
   Layout layout;            ///< optimized (generally non-regular) layout
   double max_utilization;   ///< true max_j µ_j of `layout`
   int iterations = 0;       ///< gradient steps taken
-  int objective_evaluations = 0;  ///< µ_j evaluations (column recomputes)
+  /// Full µ_j column evaluations (O(N²) each). 64-bit: at Figure 19
+  /// scales 2·N·M·iterations overflows 32 bits.
+  int64_t objective_evaluations = 0;
+  /// Rank-1 incremental µ_j evaluations (O(N) each) served by the column
+  /// cache instead of a full recompute.
+  int64_t incremental_evaluations = 0;
   bool feasible = false;    ///< capacity constraints satisfied
 
   SolverResult() : layout(1, 1), max_utilization(0) {}

@@ -1,12 +1,18 @@
 #include "solver/multistart.h"
 
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
 #include "solver/simplex.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ldb {
 
 MultiStartSolver::MultiStartSolver(SolverOptions options)
-    : solver_(options) {}
+    : options_(options), solver_(options) {}
 
 Result<SolverResult> MultiStartSolver::Solve(
     const LayoutNlpProblem& problem,
@@ -14,10 +20,37 @@ Result<SolverResult> MultiStartSolver::Solve(
   if (initials.empty()) {
     return Status::InvalidArgument("at least one initial layout required");
   }
+
+  // Each seed's run lands in its own slot; the reduction below walks the
+  // slots serially in seed order, so the outcome (winner, accumulated
+  // counters, first error) is identical for every thread count.
+  std::vector<std::optional<Result<SolverResult>>> runs(initials.size());
+  const int threads = ThreadPool::EffectiveThreads(options_.num_threads);
+  if (threads > 1 && initials.size() > 1) {
+    // Seeds are the parallel unit here; force the per-seed solves serial so
+    // the pools do not compose (and per-seed results stay identical to a
+    // standalone serial solve).
+    SolverOptions inner = options_;
+    inner.num_threads = 1;
+    const ProjectedGradientSolver inner_solver(inner);
+    ThreadPool pool(threads);
+    pool.ParallelFor(static_cast<int64_t>(initials.size()),
+                     [&](int, int64_t s) {
+                       runs[static_cast<size_t>(s)] =
+                           inner_solver.Solve(problem, initials[static_cast<size_t>(s)]);
+                     });
+  } else {
+    for (size_t s = 0; s < initials.size(); ++s) {
+      runs[s] = solver_.Solve(problem, initials[s]);
+      if (!runs[s]->ok()) break;  // later seeds would be discarded anyway
+    }
+  }
+
   bool have_best = false;
   SolverResult best;
-  for (const Layout& seed : initials) {
-    auto run = solver_.Solve(problem, seed);
+  for (size_t s = 0; s < runs.size(); ++s) {
+    LDB_CHECK(runs[s].has_value());
+    Result<SolverResult>& run = *runs[s];
     if (!run.ok()) return run.status();
     SolverResult r = std::move(run).value();
     const bool better =
@@ -30,11 +63,14 @@ Result<SolverResult> MultiStartSolver::Solve(
       r.iterations += have_best ? best.iterations : 0;
       r.objective_evaluations +=
           have_best ? best.objective_evaluations : 0;
+      r.incremental_evaluations +=
+          have_best ? best.incremental_evaluations : 0;
       best = std::move(r);
       have_best = true;
     } else {
       best.iterations += r.iterations;
       best.objective_evaluations += r.objective_evaluations;
+      best.incremental_evaluations += r.incremental_evaluations;
     }
   }
   return best;

@@ -20,6 +20,11 @@ class MultiStartSolver {
   /// Solves from every seed in `initials`; returns the result with the
   /// lowest max-utilization, preferring feasible results over infeasible
   /// ones. `initials` must be non-empty.
+  ///
+  /// With `options.num_threads` != 1 the seeds run concurrently (each
+  /// per-seed solve forced serial so pools do not nest); results are
+  /// reduced serially in seed order and are bit-identical to the serial
+  /// driver for any thread count.
   Result<SolverResult> Solve(const LayoutNlpProblem& problem,
                              const std::vector<Layout>& initials) const;
 
@@ -29,6 +34,7 @@ class MultiStartSolver {
                                          int count, Rng* rng);
 
  private:
+  SolverOptions options_;
   ProjectedGradientSolver solver_;
 };
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "solver/simplex.h"
 #include "util/check.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace ldb {
 
@@ -38,17 +40,22 @@ Status ValidateProblem(const LayoutNlpProblem& p, const Layout& initial) {
 
 /// Projects row `i` onto its feasible simplex: the full simplex when the
 /// object is unrestricted, else the sub-simplex spanned by its allowed
-/// targets (disallowed coordinates are zeroed).
-void ProjectRowConstrained(const LayoutNlpProblem& p, int i, double* row) {
+/// targets (disallowed coordinates are zeroed). The two scratch vectors are
+/// reused across calls so the per-row line-search projections allocate
+/// nothing after warm-up.
+void ProjectRowConstrained(const LayoutNlpProblem& p, int i, double* row,
+                           std::vector<double>* sub_scratch,
+                           std::vector<double>* sort_scratch) {
   const std::vector<int>& allowed = p.constraints.AllowedFor(i);
   if (allowed.empty()) {
-    ProjectToSimplex(row, static_cast<size_t>(p.num_targets));
+    ProjectToSimplex(row, static_cast<size_t>(p.num_targets), 1.0,
+                     sort_scratch);
     return;
   }
-  std::vector<double> sub;
-  sub.reserve(allowed.size());
+  std::vector<double>& sub = *sub_scratch;
+  sub.clear();
   for (int j : allowed) sub.push_back(row[j]);
-  ProjectToSimplex(sub.data(), sub.size());
+  ProjectToSimplex(sub.data(), sub.size(), 1.0, sort_scratch);
   for (int j = 0; j < p.num_targets; ++j) row[j] = 0.0;
   for (size_t k = 0; k < allowed.size(); ++k) {
     row[allowed[k]] = sub[k];
@@ -68,21 +75,51 @@ double SeparationPenalty(const LayoutNlpProblem& p, const Layout& layout) {
 }
 
 /// Working evaluation state for one candidate layout: cached per-target
-/// utilizations and assigned bytes, and the composite objective.
+/// utilizations, assigned bytes, per-target capacity-penalty terms, the
+/// separation penalty, and (when the problem provides them) the
+/// incremental per-column evaluators used by the finite-difference fast
+/// path. Refresh runs its per-column work on the pool when one is given;
+/// every reduction stays serial so results are thread-count invariant.
 class Evaluator {
  public:
-  Evaluator(const LayoutNlpProblem& p, int* eval_counter)
-      : p_(p), eval_counter_(eval_counter) {}
+  Evaluator(const LayoutNlpProblem& p, ThreadPool* pool, bool use_contexts,
+            int64_t* eval_counter)
+      : p_(p), pool_(pool), eval_counter_(eval_counter) {
+    if (use_contexts && p.make_column_eval) {
+      contexts_.reserve(static_cast<size_t>(p.num_targets));
+      for (int j = 0; j < p.num_targets; ++j) {
+        contexts_.push_back(p.make_column_eval(j));
+      }
+    }
+    partners_.resize(static_cast<size_t>(p.num_objects));
+    for (const auto& [a, b] : p.constraints.separate) {
+      partners_[static_cast<size_t>(a)].push_back(b);
+      partners_[static_cast<size_t>(b)].push_back(a);
+    }
+  }
 
-  /// Fully (re)computes caches for `layout`.
+  /// Fully (re)computes caches for `layout`. Column evaluations fan out
+  /// over the pool; each writes its own slot.
   void Refresh(const Layout& layout) {
     const int m = p_.num_targets;
     mu_.resize(static_cast<size_t>(m));
-    bytes_.assign(static_cast<size_t>(m), 0.0);
-    for (int j = 0; j < m; ++j) {
-      mu_[static_cast<size_t>(j)] = p_.target_utilization(layout, j);
-      ++*eval_counter_;
+    auto column = [&](int, int64_t j) {
+      const size_t uj = static_cast<size_t>(j);
+      if (!contexts_.empty()) {
+        contexts_[uj]->Rebuild(layout);
+        mu_[uj] = contexts_[uj]->Base();
+      } else {
+        mu_[uj] = p_.target_utilization(layout, static_cast<int>(j));
+      }
+    };
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(m, column);
+    } else {
+      for (int j = 0; j < m; ++j) column(0, j);
     }
+    *eval_counter_ += m;
+
+    bytes_.assign(static_cast<size_t>(m), 0.0);
     for (int i = 0; i < p_.num_objects; ++i) {
       const double s =
           static_cast<double>(p_.object_sizes[static_cast<size_t>(i)]);
@@ -90,52 +127,72 @@ class Evaluator {
         bytes_[static_cast<size_t>(j)] += layout.At(i, j) * s;
       }
     }
+    penalty_terms_.resize(static_cast<size_t>(m));
+    penalty_sum_ = 0.0;
+    for (int j = 0; j < m; ++j) {
+      const double term = CapacityTerm(j, bytes_[static_cast<size_t>(j)]);
+      penalty_terms_[static_cast<size_t>(j)] = term;
+      penalty_sum_ += term;
+    }
     separation_ = SeparationPenalty(p_, layout);
   }
 
   /// Composite objective from the current caches.
   double Objective(double temp, double penalty) const {
     return SmoothMax(mu_.data(), mu_.size(), temp) +
-           penalty * (PenaltyFromBytes(bytes_) + separation_);
+           penalty * (penalty_sum_ + separation_);
   }
 
-  /// Composite objective with column j's cache entries replaced — the cheap
-  /// evaluation used by coordinate finite differences. `layout` must hold
-  /// the perturbed values (needed for the separation penalty).
-  double ObjectiveWithColumn(const Layout& layout, int j, double mu_j,
-                             double bytes_j, double temp,
-                             double penalty) const {
-    std::vector<double> mu = mu_;
-    mu[static_cast<size_t>(j)] = mu_j;
-    std::vector<double> bytes = bytes_;
-    bytes[static_cast<size_t>(j)] = bytes_j;
-    const double sep = p_.constraints.separate.empty()
-                           ? 0.0
-                           : SeparationPenalty(p_, layout);
-    return SmoothMax(mu.data(), mu.size(), temp) +
-           penalty * (PenaltyFromBytes(bytes) + sep);
+  /// Composite objective with column j's µ, bytes, and the separation
+  /// penalty substituted — the allocation-free evaluation behind the
+  /// coordinate finite differences.
+  double ObjectiveWithColumn(int j, double mu_j, double bytes_j, double sep,
+                             double temp, double penalty) const {
+    const size_t uj = static_cast<size_t>(j);
+    return SmoothMaxSubstituted(mu_.data(), mu_.size(), uj, mu_j, temp) +
+           penalty *
+               (penalty_sum_ - penalty_terms_[uj] + CapacityTerm(j, bytes_j) +
+                sep);
   }
 
-  double PenaltyFromBytes(const std::vector<double>& bytes) const {
+  /// Relative-overflow penalty term of one target.
+  double CapacityTerm(int j, double bytes) const {
+    const double cap =
+        static_cast<double>(p_.target_capacities[static_cast<size_t>(j)]);
+    const double over = (bytes - cap) / cap;
+    return over > 0.0 ? over * over : 0.0;
+  }
+
+  /// Co-located separation-partner mass of object i on target j — the
+  /// linear coefficient of the separation penalty in L_ij.
+  double PartnerMass(int i, int j, const Layout& layout) const {
     double total = 0.0;
-    for (int j = 0; j < p_.num_targets; ++j) {
-      const double cap =
-          static_cast<double>(p_.target_capacities[static_cast<size_t>(j)]);
-      const double over = (bytes[static_cast<size_t>(j)] - cap) / cap;
-      if (over > 0.0) total += over * over;
+    for (int partner : partners_[static_cast<size_t>(i)]) {
+      total += layout.At(partner, j);
     }
     return total;
+  }
+
+  ColumnEvaluator* context(int j) const {
+    return contexts_.empty() ? nullptr
+                             : contexts_[static_cast<size_t>(j)].get();
   }
 
   double TrueMax() const { return *std::max_element(mu_.begin(), mu_.end()); }
   const std::vector<double>& mu() const { return mu_; }
   double bytes(int j) const { return bytes_[static_cast<size_t>(j)]; }
+  double separation() const { return separation_; }
 
  private:
   const LayoutNlpProblem& p_;
-  int* eval_counter_;
+  ThreadPool* pool_;
+  int64_t* eval_counter_;
+  std::vector<std::unique_ptr<ColumnEvaluator>> contexts_;
+  std::vector<std::vector<int>> partners_;
   std::vector<double> mu_;
   std::vector<double> bytes_;
+  std::vector<double> penalty_terms_;
+  double penalty_sum_ = 0.0;
   double separation_ = 0.0;
 };
 
@@ -145,8 +202,9 @@ class Evaluator {
 void RepairCapacity(const LayoutNlpProblem& p, Layout* layout) {
   const int n = p.num_objects;
   const int m = p.num_targets;
+  std::vector<double> bytes(static_cast<size_t>(m));
   for (int pass = 0; pass < 4 * m; ++pass) {
-    std::vector<double> bytes(static_cast<size_t>(m), 0.0);
+    std::fill(bytes.begin(), bytes.end(), 0.0);
     for (int i = 0; i < n; ++i) {
       const double s =
           static_cast<double>(p.object_sizes[static_cast<size_t>(i)]);
@@ -228,18 +286,37 @@ Result<SolverResult> ProjectedGradientSolver::Solve(
   const int n = problem.num_objects;
   const int m = problem.num_targets;
 
+  const int threads = ThreadPool::EffectiveThreads(options_.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  const int lanes = pool != nullptr ? pool->num_threads() : 1;
+
   SolverResult result;
   result.layout = initial;
   // Project the seed onto the feasible (integrity + allowed-target) set.
+  std::vector<double> sub_scratch, sort_scratch;
   for (int i = 0; i < n; ++i) {
-    ProjectRowConstrained(problem, i, result.layout.Row(i));
+    ProjectRowConstrained(problem, i, result.layout.Row(i), &sub_scratch,
+                          &sort_scratch);
   }
 
-  Evaluator eval(problem, &result.objective_evaluations);
+  Evaluator eval(problem, pool.get(), options_.use_incremental_cache,
+                 &result.objective_evaluations);
   eval.Refresh(result.layout);
+  // Line-search evaluator: full refreshes only, no incremental contexts.
+  Evaluator trial_eval(problem, pool.get(), /*use_contexts=*/false,
+                       &result.objective_evaluations);
 
   Layout& x = result.layout;
   std::vector<double> grad(static_cast<size_t>(n) * static_cast<size_t>(m));
+  // Per-lane scratch layouts for the fallback (black-box) FD path; each
+  // lane perturbs its own copy of x, never x itself.
+  std::vector<Layout> fd_scratch(static_cast<size_t>(lanes), Layout(1, 1));
+  std::vector<char> fd_scratch_fresh(static_cast<size_t>(lanes), 0);
+  // Per-column effort counters, summed serially after each parallel sweep.
+  std::vector<int64_t> col_full(static_cast<size_t>(m));
+  std::vector<int64_t> col_inc(static_cast<size_t>(m));
+  Layout trial(n, m);
   double step = options_.initial_step;
 
   double temp = options_.smoothmax_t0;
@@ -250,58 +327,97 @@ Result<SolverResult> ProjectedGradientSolver::Solve(
     for (int iter = 0; iter < options_.max_iterations_per_round; ++iter) {
       ++result.iterations;
 
-      // Central finite differences, one column re-evaluation per coordinate.
+      // Central finite differences over the (i, j) grid, one column per
+      // task. The incremental contexts price each perturbation as a rank-1
+      // update; without them a lane-local layout copy feeds the black-box
+      // µ_j. Gradient entries land in disjoint slots, so the outcome is
+      // independent of how columns are scheduled over lanes.
       const double h = options_.fd_step;
-      double grad_norm2 = 0.0;
-      for (int i = 0; i < n; ++i) {
-        const double si =
-            static_cast<double>(problem.object_sizes[static_cast<size_t>(i)]);
-        for (int j = 0; j < m; ++j) {
+      std::fill(fd_scratch_fresh.begin(), fd_scratch_fresh.end(), 0);
+      auto fd_column = [&](int rank, int64_t jj) {
+        const int j = static_cast<int>(jj);
+        const size_t uj = static_cast<size_t>(j);
+        ColumnEvaluator* ctx = eval.context(j);
+        Layout* scratch = nullptr;
+        if (ctx == nullptr) {
+          scratch = &fd_scratch[static_cast<size_t>(rank)];
+          if (!fd_scratch_fresh[static_cast<size_t>(rank)]) {
+            *scratch = x;  // one copy per lane per iteration
+            fd_scratch_fresh[static_cast<size_t>(rank)] = 1;
+          }
+        }
+        int64_t full = 0;
+        int64_t inc = 0;
+        const double bytes_j = eval.bytes(j);
+        const double sep = eval.separation();
+        for (int i = 0; i < n; ++i) {
+          const double si = static_cast<double>(
+              problem.object_sizes[static_cast<size_t>(i)]);
           const double v = x.At(i, j);
           const double lo = std::max(0.0, v - h);
           const double hi = std::min(1.0, v + h);
           if (hi - lo < 1e-12) {
-            grad[static_cast<size_t>(i) * static_cast<size_t>(m) +
-                 static_cast<size_t>(j)] = 0.0;
+            grad[static_cast<size_t>(i) * static_cast<size_t>(m) + uj] = 0.0;
             continue;
           }
-          x.Set(i, j, hi);
-          const double mu_hi = problem.target_utilization(x, j);
+          double mu_hi;
+          double mu_lo;
+          if (ctx != nullptr) {
+            mu_hi = ctx->WithObject(i, hi);
+            mu_lo = ctx->WithObject(i, lo);
+            inc += 2;
+          } else {
+            scratch->Set(i, j, hi);
+            mu_hi = problem.target_utilization(*scratch, j);
+            scratch->Set(i, j, lo);
+            mu_lo = problem.target_utilization(*scratch, j);
+            scratch->Set(i, j, v);
+            full += 2;
+          }
+          const double pm = eval.PartnerMass(i, j, x);
           const double f_hi = eval.ObjectiveWithColumn(
-              x, j, mu_hi, eval.bytes(j) + (hi - v) * si, temp, penalty);
-          x.Set(i, j, lo);
-          const double mu_lo = problem.target_utilization(x, j);
+              j, mu_hi, bytes_j + (hi - v) * si, sep + (hi - v) * pm, temp,
+              penalty);
           const double f_lo = eval.ObjectiveWithColumn(
-              x, j, mu_lo, eval.bytes(j) + (lo - v) * si, temp, penalty);
-          x.Set(i, j, v);
-          result.objective_evaluations += 2;
-          const double g = (f_hi - f_lo) / (hi - lo);
-          grad[static_cast<size_t>(i) * static_cast<size_t>(m) +
-               static_cast<size_t>(j)] = g;
-          grad_norm2 += g * g;
+              j, mu_lo, bytes_j + (lo - v) * si, sep + (lo - v) * pm, temp,
+              penalty);
+          grad[static_cast<size_t>(i) * static_cast<size_t>(m) + uj] =
+              (f_hi - f_lo) / (hi - lo);
         }
+        col_full[uj] = full;
+        col_inc[uj] = inc;
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(m, fd_column);
+      } else {
+        for (int j = 0; j < m; ++j) fd_column(0, j);
+      }
+      // Serial reductions in index order: effort counters and the gradient
+      // norm come out identical for every thread count.
+      double grad_norm2 = 0.0;
+      for (double g : grad) grad_norm2 += g * g;
+      for (int j = 0; j < m; ++j) {
+        result.objective_evaluations += col_full[static_cast<size_t>(j)];
+        result.incremental_evaluations += col_inc[static_cast<size_t>(j)];
       }
       if (grad_norm2 < 1e-18) break;
 
       // Backtracking projected-gradient step.
-      Layout best = x;
       double f_best = f;
       bool accepted = false;
       double alpha = step;
       for (int bt = 0; bt < options_.max_backtracks; ++bt) {
-        Layout trial = x;
+        trial = x;
         for (int i = 0; i < n; ++i) {
           double* row = trial.Row(i);
           const double* grow =
               &grad[static_cast<size_t>(i) * static_cast<size_t>(m)];
           for (int j = 0; j < m; ++j) row[j] -= alpha * grow[j];
-          ProjectRowConstrained(problem, i, row);
+          ProjectRowConstrained(problem, i, row, &sub_scratch, &sort_scratch);
         }
-        Evaluator trial_eval(problem, &result.objective_evaluations);
         trial_eval.Refresh(trial);
         const double f_trial = trial_eval.Objective(temp, penalty);
         if (f_trial < f - options_.armijo_c * alpha * grad_norm2) {
-          best = trial;
           f_best = f_trial;
           accepted = true;
           break;
@@ -311,7 +427,7 @@ Result<SolverResult> ProjectedGradientSolver::Solve(
       if (!accepted) break;  // no descent direction at this temperature
 
       const double improvement = (f - f_best) / std::max(1e-12, std::fabs(f));
-      x = best;
+      x = trial;
       eval.Refresh(x);
       f = eval.Objective(temp, penalty);
       step = std::min(options_.initial_step, alpha * 2.0);

@@ -21,6 +21,15 @@ namespace ldb {
 ///    re-evaluating target j — the structure exploited for speed), a
 ///    backtracking Armijo line search, and per-row Euclidean projection
 ///    back onto the unit simplex;
+///  * when the problem supplies incremental column evaluators
+///    (LayoutNlpProblem::make_column_eval), each finite-difference
+///    perturbation is priced as a rank-1 cache update — O(N) instead of a
+///    full O(N²) column recomputation — and the inner loop allocates
+///    nothing;
+///  * with SolverOptions::num_threads != 1 the finite-difference columns
+///    are evaluated concurrently. Gradient entries and effort counters are
+///    written to disjoint index-addressed slots and reduced serially, so
+///    the result is bit-identical for every thread count;
 ///  * like MINOS, the result is a locally optimal, generally non-regular
 ///    layout that depends on the initial point.
 class ProjectedGradientSolver {

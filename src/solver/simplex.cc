@@ -8,12 +8,15 @@
 
 namespace ldb {
 
-void ProjectToSimplex(double* v, size_t n, double radius) {
+void ProjectToSimplex(double* v, size_t n, double radius,
+                      std::vector<double>* scratch) {
   LDB_CHECK(v != nullptr);
   LDB_CHECK_GT(n, 0u);
   LDB_CHECK_GT(radius, 0.0);
 
-  std::vector<double> u(v, v + n);
+  std::vector<double> local;
+  std::vector<double>& u = scratch != nullptr ? *scratch : local;
+  u.assign(v, v + n);
   std::sort(u.begin(), u.end(), std::greater<double>());
 
   // Find rho = max { k : u_k - (cumsum_k - radius)/k > 0 }.
@@ -42,6 +45,24 @@ double SmoothMax(const double* values, size_t n, double t) {
   const double vmax = *std::max_element(values, values + n);
   double sum = 0.0;
   for (size_t i = 0; i < n; ++i) sum += std::exp(t * (values[i] - vmax));
+  return vmax + std::log(sum) / t;
+}
+
+double SmoothMaxSubstituted(const double* values, size_t n, size_t idx,
+                            double replacement, double t) {
+  LDB_CHECK(values != nullptr);
+  LDB_CHECK_GT(n, 0u);
+  LDB_CHECK_LT(idx, n);
+  LDB_CHECK_GT(t, 0.0);
+  double vmax = replacement;
+  for (size_t i = 0; i < n; ++i) {
+    if (i != idx && values[i] > vmax) vmax = values[i];
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = i == idx ? replacement : values[i];
+    sum += std::exp(t * (v - vmax));
+  }
   return vmax + std::log(sum) / t;
 }
 

@@ -2,6 +2,7 @@
 #define LAYOUTDB_SOLVER_SIMPLEX_H_
 
 #include <cstddef>
+#include <vector>
 
 namespace ldb {
 
@@ -12,7 +13,12 @@ namespace ldb {
 /// Crowder; popularized by Duchi et al.). This is the feasibility engine of
 /// the projected-gradient layout solver: every layout row must stay on the
 /// unit simplex (the paper's integrity constraint).
-void ProjectToSimplex(double* v, size_t n, double radius = 1.0);
+///
+/// `scratch`, when provided, is reused for the internal sort buffer so
+/// repeated projections (the solver projects every row every line-search
+/// step) allocate nothing after warm-up.
+void ProjectToSimplex(double* v, size_t n, double radius = 1.0,
+                      std::vector<double>* scratch = nullptr);
 
 /// log-sum-exp smooth approximation of max(values):
 ///   smoothmax_t(v) = (1/t) * log(sum_j exp(t * v_j))
@@ -20,6 +26,13 @@ void ProjectToSimplex(double* v, size_t n, double radius = 1.0);
 /// (error <= log(n)/t). The layout solver anneals t upward to optimize the
 /// non-smooth max-utilization objective with gradient steps.
 double SmoothMax(const double* values, size_t n, double t);
+
+/// SmoothMax of `values` with element `idx` replaced by `replacement`,
+/// without materializing the substituted array. This is the solver's
+/// finite-difference form: perturbing one layout entry changes exactly one
+/// µ_j, so the smooth objective is re-evaluated allocation-free.
+double SmoothMaxSubstituted(const double* values, size_t n, size_t idx,
+                            double replacement, double t);
 
 }  // namespace ldb
 

@@ -65,11 +65,18 @@ GridInterpolator::GridInterpolator(std::vector<std::vector<double>> axes,
       strides_(std::move(strides)) {}
 
 double GridInterpolator::At(const std::vector<double>& point) const {
-  LDB_CHECK_EQ(point.size(), axes_.size());
-  const size_t dims = axes_.size();
-  // Per-axis cell index and upper-edge weight.
-  std::vector<size_t> idx(dims);
-  std::vector<double> w(dims);
+  return At(point.data(), point.size());
+}
+
+double GridInterpolator::At(const double* point, size_t dims) const {
+  LDB_CHECK_EQ(dims, axes_.size());
+  // Per-axis cell index and upper-edge weight, on the stack: grid models in
+  // this codebase are low-dimensional (cost models use 3 axes) and this
+  // function sits inside the solver's inner loop.
+  constexpr size_t kMaxDims = 8;
+  LDB_CHECK_LE(dims, kMaxDims);
+  size_t idx[kMaxDims];
+  double w[kMaxDims];
   for (size_t d = 0; d < dims; ++d) {
     LocateOnAxis(axes_[d], point[d], &idx[d], &w[d]);
   }

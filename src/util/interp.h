@@ -32,6 +32,11 @@ class GridInterpolator {
   /// Evaluates the interpolant at `point` (size must equal dimensions()).
   double At(const std::vector<double>& point) const;
 
+  /// Allocation-free variant: `point` must hold dimensions() coordinates.
+  /// This is the form used by hot paths (the solver evaluates cost models
+  /// millions of times per run).
+  double At(const double* point, size_t dims) const;
+
   size_t dimensions() const { return axes_.size(); }
   const std::vector<std::vector<double>>& axes() const { return axes_; }
   const std::vector<double>& values() const { return values_; }

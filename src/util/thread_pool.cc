@@ -1,0 +1,103 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ldb {
+
+namespace {
+
+/// Set while a thread is executing pool work; nested ParallelFor calls from
+/// such a thread run inline instead of re-entering the pool.
+thread_local bool tls_in_pool_task = false;
+
+}  // namespace
+
+int ThreadPool::EffectiveThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int rank = 1; rank < num_threads_; ++rank) {
+    workers_.emplace_back([this, rank] { WorkerLoop(rank); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunChunks(int rank,
+                           const std::function<void(int, int64_t)>& fn,
+                           int64_t count) {
+  // Dynamic chunking: large enough to keep the atomic off the critical
+  // path, small enough to balance uneven per-index work.
+  const int64_t chunk =
+      std::max<int64_t>(1, count / (8 * static_cast<int64_t>(num_threads_)));
+  const bool was_in_task = tls_in_pool_task;
+  tls_in_pool_task = true;
+  for (;;) {
+    const int64_t begin = next_.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= count) break;
+    const int64_t end = std::min(begin + chunk, count);
+    for (int64_t i = begin; i < end; ++i) fn(rank, i);
+  }
+  tls_in_pool_task = was_in_task;
+}
+
+void ThreadPool::WorkerLoop(int rank) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int, int64_t)>* fn = nullptr;
+    int64_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      fn = fn_;
+      count = count_;
+    }
+    RunChunks(rank, *fn, count);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t count, const std::function<void(int rank, int64_t index)>& fn) {
+  if (count <= 0) return;
+  if (workers_.empty() || tls_in_pool_task) {
+    // Serial pool, or a nested call from inside a task: run inline.
+    for (int64_t i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    pending_workers_ = static_cast<int>(workers_.size());
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  RunChunks(/*rank=*/0, fn, count);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
+  fn_ = nullptr;
+}
+
+}  // namespace ldb

@@ -1,0 +1,74 @@
+#ifndef LAYOUTDB_UTIL_THREAD_POOL_H_
+#define LAYOUTDB_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ldb {
+
+/// Fixed-size worker pool with a blocking ParallelFor, the execution engine
+/// behind the solver's parallel evaluation paths.
+///
+/// Design notes for users:
+///  * `num_threads` is the total parallelism, caller included: the pool
+///    spawns `num_threads - 1` workers and the calling thread participates
+///    in every ParallelFor. A pool of 1 spawns nothing and runs inline.
+///  * ParallelFor makes no ordering promises between indices, so callers
+///    that need deterministic results must write to disjoint, index-addressed
+///    slots and perform reductions serially afterwards. All solver uses
+///    follow that discipline, which is what makes solver output bit-identical
+///    across thread counts.
+///  * A ParallelFor issued from inside a pool task runs inline on the
+///    calling thread (no deadlock, no extra threads); rank is reported as 0
+///    relative to the nested call's own frame.
+class ThreadPool {
+ public:
+  /// Resolves a user-facing thread-count knob: values <= 0 mean "one thread
+  /// per hardware core", anything else is taken literally.
+  static int EffectiveThreads(int num_threads);
+
+  /// Creates a pool with `num_threads` total execution lanes (clamped to at
+  /// least 1). Workers idle on a condition variable between calls.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Invokes `fn(rank, index)` for every index in [0, count), distributing
+  /// indices dynamically over all lanes, and blocks until every index has
+  /// completed. `rank` is in [0, num_threads()) and is stable for the
+  /// duration of one index, making it safe to key per-thread scratch
+  /// buffers by rank.
+  void ParallelFor(int64_t count,
+                   const std::function<void(int rank, int64_t index)>& fn);
+
+ private:
+  void WorkerLoop(int rank);
+  void RunChunks(int rank, const std::function<void(int, int64_t)>& fn,
+                 int64_t count);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int, int64_t)>* fn_ = nullptr;  // guarded by mu_
+  int64_t count_ = 0;                                      // guarded by mu_
+  uint64_t epoch_ = 0;                                     // guarded by mu_
+  int pending_workers_ = 0;                                // guarded by mu_
+  bool stop_ = false;                                      // guarded by mu_
+  std::atomic<int64_t> next_{0};
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_UTIL_THREAD_POOL_H_

@@ -1,0 +1,348 @@
+// Tests for the parallel + incremental solver evaluation engine: the
+// thread pool itself, bit-identical solver results across thread counts,
+// and the incremental column evaluator against from-scratch µ_j.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/cost_model.h"
+#include "model/target_model.h"
+#include "solver/multistart.h"
+#include "solver/projected_gradient.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "util/units.h"
+
+namespace ldb {
+namespace {
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolTest, EffectiveThreads) {
+  EXPECT_EQ(ThreadPool::EffectiveThreads(1), 1);
+  EXPECT_EQ(ThreadPool::EffectiveThreads(5), 5);
+  EXPECT_GE(ThreadPool::EffectiveThreads(0), 1);  // hardware cores
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  // Disjoint index-addressed writes, the pattern the solver relies on.
+  std::vector<int> visits(1000, 0);
+  pool.ParallelFor(static_cast<int64_t>(visits.size()), [&](int rank,
+                                                            int64_t i) {
+    EXPECT_GE(rank, 0);
+    EXPECT_LT(rank, 4);
+    visits[static_cast<size_t>(i)] += 1;
+  });
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ThreadPoolTest, HandlesEmptyAndTinyRanges) {
+  ThreadPool pool(8);
+  int ran = 0;
+  pool.ParallelFor(0, [&](int, int64_t) { ++ran; });
+  EXPECT_EQ(ran, 0);
+  std::vector<int> visits(3, 0);
+  pool.ParallelFor(3, [&](int, int64_t i) { visits[static_cast<size_t>(i)]++; });
+  EXPECT_EQ(visits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(3);
+  std::vector<int> counts(6, 0);
+  pool.ParallelFor(static_cast<int64_t>(counts.size()), [&](int, int64_t i) {
+    // A nested call from a pool task must not deadlock; it runs inline on
+    // the calling lane.
+    int inner = 0;
+    pool.ParallelFor(4, [&](int, int64_t) { ++inner; });
+    counts[static_cast<size_t>(i)] = inner;
+  });
+  for (int c : counts) EXPECT_EQ(c, 4);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> visits(17, 0);
+    pool.ParallelFor(17, [&](int, int64_t i) { visits[static_cast<size_t>(i)]++; });
+    for (int v : visits) EXPECT_EQ(v, 1);
+  }
+}
+
+// --------------------------------------------------- Model test fixtures
+
+CostModel MakeSyntheticCostModel() {
+  // Several contention-axis points so the incremental evaluator's cached
+  // χ-segments actually get exercised (interior cells, clamped tails).
+  std::vector<double> sizes{static_cast<double>(8 * kKiB),
+                            static_cast<double>(64 * kKiB),
+                            static_cast<double>(512 * kKiB)};
+  std::vector<double> runs{1, 8, 64};
+  std::vector<double> chis{0, 0.5, 1, 2, 4};
+  std::vector<double> reads, writes;
+  for (double s : sizes) {
+    for (double q : runs) {
+      for (double c : chis) {
+        const double v =
+            0.004 * (s / (8 * kKiB)) * (1.0 + 0.7 * c) / std::sqrt(q);
+        reads.push_back(v);
+        writes.push_back(1.4 * v);
+      }
+    }
+  }
+  auto m = CostModel::Create("synthetic", sizes, runs, chis, reads, writes);
+  LDB_CHECK(m.ok());
+  return std::move(m).value();
+}
+
+WorkloadSet MakeWorkloads(int n, Rng* rng) {
+  WorkloadSet ws(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    WorkloadDesc& w = ws[static_cast<size_t>(i)];
+    w.read_rate = rng->Uniform(1, 150);
+    w.read_size = 64 * kKiB;
+    w.write_rate = rng->Uniform(0, 25);
+    w.write_size = 8 * kKiB;
+    w.run_count = rng->Uniform(1, 60);
+    w.overlap.assign(static_cast<size_t>(n), 0.0);
+    for (int k = 0; k < n; ++k) {
+      w.overlap[static_cast<size_t>(k)] =
+          k == i ? rng->Uniform(0, 0.5) : rng->Uniform(0, 1);
+    }
+  }
+  return ws;
+}
+
+/// A full target-model NLP problem with stable addresses (everything the
+/// lambdas capture lives behind unique_ptrs).
+struct ModelProblem {
+  std::unique_ptr<CostModel> cost;
+  std::unique_ptr<TargetModel> model;
+  std::unique_ptr<WorkloadSet> workloads;
+  LayoutNlpProblem nlp;
+};
+
+ModelProblem MakeModelProblem(int n, int m, uint64_t seed) {
+  ModelProblem mp;
+  mp.cost = std::make_unique<CostModel>(MakeSyntheticCostModel());
+  Rng rng(seed);
+  mp.workloads = std::make_unique<WorkloadSet>(MakeWorkloads(n, &rng));
+  std::vector<TargetModelInfo> infos(
+      static_cast<size_t>(m), TargetModelInfo{mp.cost.get(), 1, 64 * kKiB});
+  mp.model =
+      std::make_unique<TargetModel>(infos, LvmLayoutModel(64 * kKiB));
+  mp.nlp.num_objects = n;
+  mp.nlp.num_targets = m;
+  mp.nlp.object_sizes.assign(static_cast<size_t>(n), kGiB);
+  mp.nlp.target_capacities.assign(static_cast<size_t>(m), 50 * kGiB);
+  const TargetModel* model = mp.model.get();
+  const WorkloadSet* ws = mp.workloads.get();
+  mp.nlp.target_utilization = [model, ws](const Layout& l, int j) {
+    return model->TargetUtilization(*ws, l, j);
+  };
+  mp.nlp.make_column_eval = [model, ws](int j) {
+    return model->MakeColumnEvaluator(*ws, j);
+  };
+  return mp;
+}
+
+Layout RandomLayout(int n, int m, Rng* rng) {
+  Layout l(n, m);
+  for (int i = 0; i < n; ++i) {
+    double* row = l.Row(i);
+    double sum = 0;
+    for (int j = 0; j < m; ++j) {
+      row[j] = rng->Uniform(0, 1);
+      sum += row[j];
+    }
+    for (int j = 0; j < m; ++j) row[j] /= sum;
+    // Sparsify a little so some (i, j) entries are exactly absent.
+    const int drop = rng->UniformInt(0, m - 1);
+    row[drop] = 0.0;
+  }
+  return l;
+}
+
+// ------------------------------------------------- Column evaluator cache
+
+TEST(ColumnCacheTest, BaseMatchesFromScratchUtilization) {
+  const int n = 12, m = 5;
+  ModelProblem mp = MakeModelProblem(n, m, 11);
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Layout layout = RandomLayout(n, m, &rng);
+    for (int j = 0; j < m; ++j) {
+      auto ctx = mp.model->MakeColumnEvaluator(*mp.workloads, j);
+      ctx->Rebuild(layout);
+      const double full = mp.model->TargetUtilization(*mp.workloads, layout, j);
+      EXPECT_DOUBLE_EQ(ctx->Base(), full) << "trial " << trial << " j " << j;
+    }
+  }
+}
+
+TEST(ColumnCacheTest, WithObjectMatchesSubstitutedRecompute) {
+  const int n = 12, m = 5;
+  ModelProblem mp = MakeModelProblem(n, m, 13);
+  Rng rng(31);
+  for (int trial = 0; trial < 6; ++trial) {
+    Layout layout = RandomLayout(n, m, &rng);
+    for (int j = 0; j < m; ++j) {
+      auto ctx = mp.model->MakeColumnEvaluator(*mp.workloads, j);
+      ctx->Rebuild(layout);
+      for (int i = 0; i < n; ++i) {
+        // Perturbations an FD step makes: tiny moves, removals, and
+        // from-zero insertions.
+        for (double fraction :
+             {layout.At(i, j) + 1e-4, layout.At(i, j) - 1e-4, 0.0, 0.37,
+              1.0}) {
+          if (fraction < 0.0 || fraction > 1.0) continue;
+          const double got = ctx->WithObject(i, fraction);
+          const double saved = layout.At(i, j);
+          layout.Set(i, j, fraction);
+          const double want =
+              mp.model->TargetUtilization(*mp.workloads, layout, j);
+          layout.Set(i, j, saved);
+          EXPECT_NEAR(got, want, 1e-9 * std::max(1.0, std::fabs(want)))
+              << "i=" << i << " j=" << j << " fraction=" << fraction;
+        }
+      }
+      // The context must not drift: WithObject calls leave Base intact.
+      EXPECT_DOUBLE_EQ(
+          ctx->Base(), mp.model->TargetUtilization(*mp.workloads, layout, j));
+    }
+  }
+}
+
+// ----------------------------------------------------- Solver determinism
+
+SolverOptions FastOptions() {
+  SolverOptions o;
+  o.annealing_rounds = 3;
+  o.max_iterations_per_round = 20;
+  return o;
+}
+
+TEST(SolverThreadingTest, BitIdenticalAcrossThreadCounts) {
+  const int n = 12, m = 6;
+  ModelProblem mp = MakeModelProblem(n, m, 17);
+  const Layout seed = Layout::StripeEverythingEverywhere(n, m);
+
+  SolverResult reference;
+  bool have_reference = false;
+  for (int threads : {1, 2, 8}) {
+    SolverOptions o = FastOptions();
+    o.num_threads = threads;
+    ProjectedGradientSolver solver(o);
+    auto r = solver.Solve(mp.nlp, seed);
+    ASSERT_TRUE(r.ok()) << "threads=" << threads;
+    if (!have_reference) {
+      reference = std::move(r).value();
+      have_reference = true;
+      EXPECT_GT(reference.incremental_evaluations, 0);
+      continue;
+    }
+    EXPECT_TRUE(r->layout == reference.layout) << "threads=" << threads;
+    EXPECT_EQ(r->max_utilization, reference.max_utilization)
+        << "threads=" << threads;
+    EXPECT_EQ(r->iterations, reference.iterations);
+    EXPECT_EQ(r->objective_evaluations, reference.objective_evaluations);
+    EXPECT_EQ(r->incremental_evaluations, reference.incremental_evaluations);
+    EXPECT_EQ(r->feasible, reference.feasible);
+  }
+}
+
+TEST(SolverThreadingTest, BitIdenticalWithoutCacheToo) {
+  // The fallback (black-box µ_j) path must also be thread-count invariant.
+  const int n = 10, m = 4;
+  ModelProblem mp = MakeModelProblem(n, m, 19);
+  const Layout seed = Layout::StripeEverythingEverywhere(n, m);
+
+  SolverOptions o = FastOptions();
+  o.use_incremental_cache = false;
+  o.num_threads = 1;
+  auto serial = ProjectedGradientSolver(o).Solve(mp.nlp, seed);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial->incremental_evaluations, 0);
+
+  o.num_threads = 4;
+  auto threaded = ProjectedGradientSolver(o).Solve(mp.nlp, seed);
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_TRUE(threaded->layout == serial->layout);
+  EXPECT_EQ(threaded->max_utilization, serial->max_utilization);
+  EXPECT_EQ(threaded->objective_evaluations, serial->objective_evaluations);
+}
+
+TEST(MultiStartThreadingTest, BitIdenticalAcrossThreadCounts) {
+  const int n = 12, m = 6;
+  ModelProblem mp = MakeModelProblem(n, m, 23);
+  Rng rng(5);
+  std::vector<Layout> seeds = MultiStartSolver::RandomSeeds(mp.nlp, 4, &rng);
+  seeds.push_back(Layout::StripeEverythingEverywhere(n, m));
+
+  SolverResult reference;
+  bool have_reference = false;
+  for (int threads : {1, 2, 8}) {
+    SolverOptions o = FastOptions();
+    o.num_threads = threads;
+    MultiStartSolver solver(o);
+    auto r = solver.Solve(mp.nlp, seeds);
+    ASSERT_TRUE(r.ok()) << "threads=" << threads;
+    if (!have_reference) {
+      reference = std::move(r).value();
+      have_reference = true;
+      continue;
+    }
+    EXPECT_TRUE(r->layout == reference.layout) << "threads=" << threads;
+    EXPECT_EQ(r->max_utilization, reference.max_utilization)
+        << "threads=" << threads;
+    EXPECT_EQ(r->iterations, reference.iterations);
+    EXPECT_EQ(r->objective_evaluations, reference.objective_evaluations);
+    EXPECT_EQ(r->incremental_evaluations, reference.incremental_evaluations);
+  }
+}
+
+// ------------------------------------------------------- Engine economics
+
+TEST(EngineTest, CacheCutsFullEvaluationsAndAgreesWithBaseline) {
+  const int n = 12, m = 6;
+  ModelProblem mp = MakeModelProblem(n, m, 29);
+  // Unbalanced seed (everything on target 0) so the solver takes real
+  // descent steps — from the perfectly balanced SEE seed both engines
+  // spend their iterations exhausting the line search instead.
+  Layout seed(n, m);
+  for (int i = 0; i < n; ++i) seed.SetRowRegular(i, {0});
+
+  SolverOptions on = FastOptions();
+  SolverOptions off = FastOptions();
+  off.use_incremental_cache = false;
+  auto cached = ProjectedGradientSolver(on).Solve(mp.nlp, seed);
+  auto baseline = ProjectedGradientSolver(off).Solve(mp.nlp, seed);
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(baseline.ok());
+
+  // The cache converts the FD grid's 2·N·M full column evaluations per
+  // iteration into rank-1 incremental ones; only the line search's full
+  // refreshes (a handful of columns each) still pay for full evaluations.
+  EXPECT_GT(cached->incremental_evaluations, 0);
+  EXPECT_LT(cached->objective_evaluations, baseline->objective_evaluations);
+  ASSERT_GT(cached->iterations, 0);
+  ASSERT_GT(baseline->iterations, 0);
+  const double cached_per_iter =
+      static_cast<double>(cached->objective_evaluations) /
+      static_cast<double>(cached->iterations);
+  const double baseline_per_iter =
+      static_cast<double>(baseline->objective_evaluations) /
+      static_cast<double>(baseline->iterations);
+  EXPECT_LT(cached_per_iter, baseline_per_iter / 2);
+  // Both engines optimize the same objective and land on layouts of the
+  // same quality (FD rounding differs, so exact equality is not required).
+  EXPECT_NEAR(cached->max_utilization, baseline->max_utilization,
+              0.05 * std::max(1.0, std::fabs(baseline->max_utilization)));
+}
+
+}  // namespace
+}  // namespace ldb

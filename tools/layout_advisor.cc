@@ -6,7 +6,11 @@
 //
 // Usage:
 //   layout_advisor <problem-file> [--no-regularize] [--seeds=<n>]
-//                  [--compare-see]
+//                  [--compare-see] [--threads=<n>]
+//
+// --threads=<n> sets the solver's evaluation-engine parallelism (1 =
+// serial default, 0 = one thread per hardware core). The recommended
+// layout is identical for every thread count.
 //
 // The problem file describes objects, workloads, targets and constraints;
 // see src/core/problem_io.h for the format and examples/data/ for a
@@ -25,7 +29,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <problem-file> [--no-regularize] [--seeds=<n>] "
-                 "[--compare-see]\n",
+                 "[--compare-see] [--threads=<n>]\n",
                  argv[0]);
     return 2;
   }
@@ -39,6 +43,8 @@ int main(int argc, char** argv) {
       options.extra_random_seeds = std::atoi(argv[a] + 8);
     } else if (std::strcmp(argv[a], "--compare-see") == 0) {
       compare_see = true;
+    } else if (std::strncmp(argv[a], "--threads=", 10) == 0) {
+      options.solver.num_threads = std::atoi(argv[a] + 10);
     } else if (argv[a][0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", argv[a]);
       return 2;
