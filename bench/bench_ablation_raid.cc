@@ -45,8 +45,7 @@ int main(int argc, char** argv) {
                    "OLTP opt (tpm)"});
   for (const Config& config : configs) {
     // OLAP side (TPC-H).
-    auto rig = ExperimentRig::Create(Catalog::TpcH(env.scale),
-                                     config.targets, env.scale, env.seed);
+    auto rig = MakeRig(env, Catalog::TpcH(env.scale), config.targets);
     if (!rig.ok()) {
       std::fprintf(stderr, "%s: %s\n", config.name,
                    rig.status().ToString().c_str());
@@ -62,9 +61,7 @@ int main(int argc, char** argv) {
     }
 
     // OLTP side (TPC-C): write-heavy, exposes RAID5's parity penalty.
-    auto oltp_rig = ExperimentRig::Create(Catalog::TpcC(env.scale),
-                                          config.targets, env.scale,
-                                          env.seed);
+    auto oltp_rig = MakeRig(env, Catalog::TpcC(env.scale), config.targets);
     std::string oltp_cell = "n/a";
     if (oltp_rig.ok()) {
       auto oltp = MakeOltpSpec(oltp_rig->catalog(), "", 9, 5.0);

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <numeric>
+#include <utility>
 
 #include "util/table.h"
 
@@ -26,6 +27,8 @@ BenchEnv ParseBenchEnv(int argc, char** argv) {
     } else if (std::strncmp(argv[a], "--json=", 7) == 0) {
       env.json = true;
       env.json_path = argv[a] + 7;
+    } else if (std::strncmp(argv[a], "--calibration-cache=", 20) == 0) {
+      env.calibration_cache = argv[a] + 20;
     }
   }
   LDB_CHECK_GT(env.scale, 0.0);
@@ -119,10 +122,22 @@ void PrintHeader(const char* figure, const char* description,
       env.scale, static_cast<unsigned long long>(env.seed));
 }
 
+CalibrationOptions RigCalibration(const BenchEnv& env) {
+  CalibrationOptions cal;
+  cal.num_threads = env.num_threads;
+  cal.cache_dir = env.calibration_cache;
+  return cal;
+}
+
+Result<ExperimentRig> MakeRig(const BenchEnv& env, Catalog catalog,
+                              std::vector<RigTargetDef> targets) {
+  return ExperimentRig::Create(std::move(catalog), std::move(targets),
+                               env.scale, env.seed, RigCalibration(env));
+}
+
 Result<ExperimentRig> FourDiskTpchRig(const BenchEnv& env) {
-  return ExperimentRig::Create(
-      Catalog::TpcH(env.scale),
-      {{"disk0"}, {"disk1"}, {"disk2"}, {"disk3"}}, env.scale, env.seed);
+  return MakeRig(env, Catalog::TpcH(env.scale),
+                 {{"disk0"}, {"disk1"}, {"disk2"}, {"disk3"}});
 }
 
 Layout SeeLayout(const ExperimentRig& rig) {

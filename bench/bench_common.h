@@ -31,12 +31,26 @@ struct BenchEnv {
   /// ("-" = stdout) in addition to the human-readable tables.
   std::string json_path;
   bool json = false;
+  /// Directory of the persistent device cost-model cache
+  /// (--calibration-cache=<dir>); empty = no cache (or the
+  /// LDB_CALIBRATION_CACHE environment variable).
+  std::string calibration_cache;
 };
 
-/// Parses --scale=<f>, --seed=<n>, --threads=<n>, and --json[=path] from
-/// argv (ignores anything else, so binaries still run under blanket bench
-/// runners).
+/// Parses --scale=<f>, --seed=<n>, --threads=<n>, --json[=path], and
+/// --calibration-cache=<dir> from argv (ignores anything else, so binaries
+/// still run under blanket bench runners).
 BenchEnv ParseBenchEnv(int argc, char** argv);
+
+/// Calibration options implied by a BenchEnv (parallelism from --threads,
+/// cache directory from --calibration-cache).
+CalibrationOptions RigCalibration(const BenchEnv& env);
+
+/// ExperimentRig::Create with the env's scale, seed, and calibration
+/// options — every bench builds its rigs through this, so they all honor
+/// --calibration-cache.
+Result<ExperimentRig> MakeRig(const BenchEnv& env, Catalog catalog,
+                              std::vector<RigTargetDef> targets);
 
 /// Minimal JSON emitter for benchmark results: a flat array of objects
 /// with string / double / integer fields. No dependency, no cleverness —

@@ -24,11 +24,13 @@ int main(int argc, char** argv) {
 
   TextTable table({"Workload", "SEE (s)", "Optimized (s)", "Speedup",
                    "Paper speedup"});
+  JsonRows json;
   struct Row {
     int concurrency;
     const char* paper;
+    double paper_speedup;
   };
-  for (const Row& r : {Row{1, "1.28x"}, Row{8, "1.19x"}}) {
+  for (const Row& r : {Row{1, "1.28x", 1.28}, Row{8, "1.19x", 1.19}}) {
     auto olap = MakeOlapSpec(rig->catalog(), 3, r.concurrency, env.seed);
     if (!olap.ok()) return 1;
     auto advised = AdviseForWorkload(*rig, &*olap, nullptr);
@@ -41,13 +43,27 @@ int main(int argc, char** argv) {
     auto opt_run =
         rig->Execute(advised->result.final_layout, &*olap, nullptr);
     if (!see_run.ok() || !opt_run.ok()) return 1;
+    const double speedup =
+        see_run->elapsed_seconds / opt_run->elapsed_seconds;
     table.AddRow({olap->name,
                   StrFormat("%.0f", see_run->elapsed_seconds),
                   StrFormat("%.0f", opt_run->elapsed_seconds),
-                  StrFormat("%.2fx", see_run->elapsed_seconds /
-                                         opt_run->elapsed_seconds),
-                  r.paper});
+                  StrFormat("%.2fx", speedup), r.paper});
+    if (env.json) {
+      json.BeginRow();
+      json.Field("workload", olap->name);
+      json.Field("concurrency", r.concurrency);
+      json.Field("see_seconds", see_run->elapsed_seconds);
+      json.Field("optimized_seconds", opt_run->elapsed_seconds);
+      json.Field("speedup", speedup);
+      json.Field("paper_speedup", r.paper_speedup);
+      json.Field("advisor_seconds", advised->result.total_seconds());
+    }
   }
   std::printf("%s", table.ToString().c_str());
+  if (env.json && !json.WriteTo(env.json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", env.json_path.c_str());
+    return 1;
+  }
   return 0;
 }

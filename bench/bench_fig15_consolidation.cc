@@ -22,9 +22,8 @@ int main(int argc, char** argv) {
 
   Catalog merged = Catalog::Merge(Catalog::TpcH(env.scale),
                                   Catalog::TpcC(env.scale), "", "C_");
-  auto rig = ExperimentRig::Create(
-      merged, {{"disk0"}, {"disk1"}, {"disk2"}, {"disk3"}}, env.scale,
-      env.seed);
+  auto rig = MakeRig(env, merged,
+                     {{"disk0"}, {"disk1"}, {"disk2"}, {"disk3"}});
   if (!rig.ok()) return 1;
 
   auto olap = MakeOlapSpec(rig->catalog(), 1, 1, env.seed);
@@ -52,5 +51,24 @@ int main(int argc, char** argv) {
       "(paper 1.18x)\n",
       see_run->elapsed_seconds / opt_run->elapsed_seconds,
       opt_run->tpm / see_run->tpm);
+  if (env.json) {
+    JsonRows json;
+    json.BeginRow();
+    json.Field("workload", "consolidation-olap1-21");
+    json.Field("see_seconds", see_run->elapsed_seconds);
+    json.Field("optimized_seconds", opt_run->elapsed_seconds);
+    json.Field("speedup",
+               see_run->elapsed_seconds / opt_run->elapsed_seconds);
+    json.Field("paper_speedup", 1.43);
+    json.Field("see_tpm", see_run->tpm);
+    json.Field("optimized_tpm", opt_run->tpm);
+    json.Field("tpm_ratio", opt_run->tpm / see_run->tpm);
+    json.Field("paper_tpm_ratio", 1.18);
+    json.Field("advisor_seconds", advised->result.total_seconds());
+    if (!json.WriteTo(env.json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", env.json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -21,9 +21,8 @@ int main(int argc, char** argv) {
 
   Catalog merged = Catalog::Merge(Catalog::TpcH(env.scale),
                                   Catalog::TpcC(env.scale), "", "C_");
-  auto rig = ExperimentRig::Create(
-      merged, {{"disk0"}, {"disk1"}, {"disk2"}, {"disk3"}}, env.scale,
-      env.seed);
+  auto rig = MakeRig(env, merged,
+                     {{"disk0"}, {"disk1"}, {"disk2"}, {"disk3"}});
   if (!rig.ok()) return 1;
   auto olap = MakeOlapSpec(rig->catalog(), 1, 1, env.seed);
   auto oltp = MakeOltpSpec(rig->catalog(), "C_", 9, 5.0);

@@ -36,11 +36,11 @@ int main(int argc, char** argv) {
 
   TextTable table({"Config", "SEE (s)", "Isolate baseline (s)",
                    "Optimized (s)", "Speedup vs SEE"});
+  JsonRows json;
   double see_elapsed[3] = {0, 0, 0};
   int row = 0;
   for (const Config& config : configs) {
-    auto rig = ExperimentRig::Create(Catalog::TpcH(env.scale),
-                                     config.targets, env.scale, env.seed);
+    auto rig = MakeRig(env, Catalog::TpcH(env.scale), config.targets);
     if (!rig.ok()) return 1;
     auto olap = MakeOlapSpec(rig->catalog(), 3, 8, env.seed);
     if (!olap.ok()) return 1;
@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
     // tables on the big target ("3-1"); tables / indexes / temp separated
     // ("2-1-1").
     std::string isolate = "n/a";
+    double isolate_elapsed = -1;
     Result<Layout> baseline = Status::NotFound("none");
     if (std::string(config.name) == "3-1") {
       baseline = IsolateTablesBaseline(advised->problem, 0);
@@ -65,7 +66,10 @@ int main(int argc, char** argv) {
     }
     if (baseline.ok()) {
       auto run = rig->Execute(*baseline, &*olap, nullptr);
-      if (run.ok()) isolate = StrFormat("%.0f", run->elapsed_seconds);
+      if (run.ok()) {
+        isolate_elapsed = run->elapsed_seconds;
+        isolate = StrFormat("%.0f", isolate_elapsed);
+      }
     }
 
     see_elapsed[row++] = see_run->elapsed_seconds;
@@ -73,6 +77,16 @@ int main(int argc, char** argv) {
                   isolate, StrFormat("%.0f", opt_run->elapsed_seconds),
                   StrFormat("%.2fx", see_run->elapsed_seconds /
                                          opt_run->elapsed_seconds)});
+    if (env.json) {
+      json.BeginRow();
+      json.Field("config", config.name);
+      json.Field("see_seconds", see_run->elapsed_seconds);
+      json.Field("isolate_seconds", isolate_elapsed);
+      json.Field("optimized_seconds", opt_run->elapsed_seconds);
+      json.Field("speedup",
+                 see_run->elapsed_seconds / opt_run->elapsed_seconds);
+      json.Field("advisor_seconds", advised->result.total_seconds());
+    }
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf(
@@ -82,5 +96,9 @@ int main(int argc, char** argv) {
       see_elapsed[0] >= see_elapsed[1] && see_elapsed[1] >= see_elapsed[2]
           ? "[ok: matches paper ordering]"
           : "[MISS]");
+  if (env.json && !json.WriteTo(env.json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", env.json_path.c_str());
+    return 1;
+  }
   return 0;
 }

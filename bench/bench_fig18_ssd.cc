@@ -25,12 +25,12 @@ int main(int argc, char** argv) {
 
   TextTable table({"SSD capacity", "SEE (s)", "All-on-SSD (s)",
                    "Optimized (s)", "Speedup vs SEE"});
+  JsonRows json;
   for (int64_t cap_gb : {32, 10, 6, 4}) {
     std::vector<RigTargetDef> targets{{"disk0"}, {"disk1"}, {"disk2"},
                                       {"disk3"}};
     targets.push_back(RigTargetDef{"ssd", 1, true, cap_gb * kGiB});
-    auto rig = ExperimentRig::Create(Catalog::TpcH(env.scale), targets,
-                                     env.scale, env.seed);
+    auto rig = MakeRig(env, Catalog::TpcH(env.scale), targets);
     if (!rig.ok()) return 1;
     auto olap = MakeOlapSpec(rig->catalog(), 3, 8, env.seed);
     if (!olap.ok()) return 1;
@@ -60,10 +60,14 @@ int main(int argc, char** argv) {
       }
     }
     std::string ssd_cell = "n/a (capacity)";
+    double ssd_elapsed = -1;
     auto ssd_only = AllOnOneTargetBaseline(advised->problem, 4);
     if (ssd_only.ok()) {
       auto run = rig->Execute(*ssd_only, &*olap, nullptr);
-      if (run.ok()) ssd_cell = StrFormat("%.0f", run->elapsed_seconds);
+      if (run.ok()) {
+        ssd_elapsed = run->elapsed_seconds;
+        ssd_cell = StrFormat("%.0f", ssd_elapsed);
+      }
     }
     table.AddRow({StrFormat("%lld GB", static_cast<long long>(cap_gb)),
                   see_cell, ssd_cell,
@@ -72,10 +76,25 @@ int main(int argc, char** argv) {
                       ? StrFormat("%.2fx",
                                   see_elapsed / opt_run->elapsed_seconds)
                       : std::string("-")});
+    if (env.json) {
+      json.BeginRow();
+      json.Field("ssd_capacity_gb", cap_gb);
+      json.Field("see_seconds", see_elapsed);
+      json.Field("ssd_only_seconds", ssd_elapsed);
+      json.Field("optimized_seconds", opt_run->elapsed_seconds);
+      json.Field("speedup", see_elapsed > 0
+                                ? see_elapsed / opt_run->elapsed_seconds
+                                : -1.0);
+      json.Field("advisor_seconds", advised->result.total_seconds());
+    }
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf(
       "Paper shapes: SEE poor on the fast+slow mix; optimized <= SSD-only "
       "at 32GB; even a small SSD yields a large boost over disk-only.\n");
+  if (env.json && !json.WriteTo(env.json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", env.json_path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -87,9 +87,8 @@ int main(int argc, char** argv) {
 
   Catalog merged = Catalog::Merge(Catalog::TpcH(env.scale),
                                   Catalog::TpcC(env.scale), "", "C_");
-  auto rig40 = ExperimentRig::Create(
-      merged, {{"disk0"}, {"disk1"}, {"disk2"}, {"disk3"}}, env.scale,
-      env.seed);
+  auto rig40 = MakeRig(env, merged,
+                       {{"disk0"}, {"disk1"}, {"disk2"}, {"disk3"}});
   if (!rig40.ok()) return 1;
   auto olap21 = MakeOlapSpec(rig40->catalog(), 1, 1, env.seed);
   auto oltp = MakeOltpSpec(rig40->catalog(), "C_", 9, 5.0);

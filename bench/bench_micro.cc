@@ -19,6 +19,7 @@
 #include "solver/projected_gradient.h"
 #include "solver/simplex.h"
 #include "storage/disk.h"
+#include "storage/event_queue.h"
 #include "storage/lvm.h"
 #include "storage/storage_system.h"
 #include "util/random.h"
@@ -61,6 +62,42 @@ void BM_DiskServiceTimeRandom(benchmark::State& state) {
 }
 BENCHMARK(BM_DiskServiceTimeRandom);
 
+void BM_CalibrationPoint(benchmark::State& state) {
+  // One grid point of the calibration sweep at the heaviest contention
+  // level — the unit of work CalibrateDevice parallelizes over.
+  DiskModel disk(Scsi15kParams());
+  CalibrationOptions options;
+  options.size_axis = {64 * kKiB};
+  options.run_axis = {16};
+  options.contention_axis = {16};
+  for (auto _ : state) {
+    auto m = CalibrateDevice(disk, options);
+    benchmark::DoNotOptimize(m.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CalibrationPoint);
+
+void BM_CalibrateDeviceDefaultGrid(benchmark::State& state) {
+  // Full default grid (9 sizes x 8 run counts x 7 contention levels) with
+  // num_threads = range(0). Arg(1) is the serial baseline; Arg(8) must show
+  // the >=3x parallel speedup, with bit-identical tables (see
+  // threading_test.cc).
+  DiskModel disk(Scsi15kParams());
+  CalibrationOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto m = CalibrateDevice(disk, options);
+    benchmark::DoNotOptimize(m.ok());
+  }
+}
+BENCHMARK(BM_CalibrateDeviceDefaultGrid)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   DiskModel proto(Scsi15kParams());
   for (auto _ : state) {
@@ -80,6 +117,50 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_EventQueueScheduleDrain(benchmark::State& state) {
+  // Bulk schedule-then-drain: stresses the slab/free-list reuse path with
+  // many outstanding events. Steady state performs zero callback heap
+  // allocations (capture fits the inline buffer).
+  const int kEvents = 1024;
+  EventQueue q;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kEvents; ++i) {
+      q.ScheduleAfter(static_cast<double>(i % 17) * 1e-6,
+                      [&sink, i] { sink += static_cast<uint64_t>(i); });
+    }
+    q.RunUntilIdle();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_EventQueueScheduleDrain);
+
+struct Ticker {
+  EventQueue* q;
+  uint64_t remaining;
+  void Tick() {
+    if (remaining-- > 0) q->ScheduleAfter(1e-6, [this] { Tick(); });
+  }
+};
+
+void BM_EventQueueChainedTimers(benchmark::State& state) {
+  // Self-rescheduling timer chain: the simulator's steady-state shape (one
+  // completion schedules the next). A single pool slot is recycled for the
+  // whole chain with no heap allocation per event.
+  const uint64_t kChain = 4096;
+  EventQueue q;
+  for (auto _ : state) {
+    Ticker t{&q, kChain};
+    t.Tick();
+    q.RunUntilIdle();
+    benchmark::DoNotOptimize(t.remaining);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kChain));
+}
+BENCHMARK(BM_EventQueueChainedTimers);
 
 void BM_LvmMap(benchmark::State& state) {
   auto mgr = StripedVolumeManager::Create(

@@ -30,6 +30,14 @@ int64_t ScaledCapacity(int64_t bytes, double scale) {
 Result<ExperimentRig> ExperimentRig::Create(Catalog catalog,
                                             std::vector<RigTargetDef> targets,
                                             double scale, uint64_t seed) {
+  return Create(std::move(catalog), std::move(targets), scale, seed,
+                CalibrationOptions{});
+}
+
+Result<ExperimentRig> ExperimentRig::Create(Catalog catalog,
+                                            std::vector<RigTargetDef> targets,
+                                            double scale, uint64_t seed,
+                                            CalibrationOptions calibration) {
   if (targets.empty()) {
     return Status::InvalidArgument("rig needs at least one target");
   }
@@ -75,10 +83,11 @@ Result<ExperimentRig> ExperimentRig::Create(Catalog catalog,
     rig.prototypes_.push_back(std::move(proto));
   }
 
-  // Calibrate one cost model per distinct device type. A reduced grid
-  // keeps calibration fast at small scales while covering the operating
-  // range; the full default grid is used at paper scale.
-  CalibrationOptions cal;
+  // Calibrate one cost model per distinct device type, via the persistent
+  // cache when one is configured. The rig seed keys the measurements (it
+  // participates in the cache key, so differently-seeded rigs never share
+  // stale tables).
+  CalibrationOptions cal = std::move(calibration);
   cal.seed = seed;
   std::vector<const BlockDevice*> protos;
   for (const auto& p : rig.prototypes_) protos.push_back(p.get());

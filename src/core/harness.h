@@ -42,6 +42,14 @@ class ExperimentRig {
                                       double scale = 1.0,
                                       uint64_t seed = 42);
 
+  /// Same, with explicit calibration options — grid, parallelism, and the
+  /// persistent cost-model cache (`--calibration-cache` in the CLIs). The
+  /// rig seed overrides `calibration.seed` so one knob controls a run.
+  static Result<ExperimentRig> Create(Catalog catalog,
+                                      std::vector<RigTargetDef> targets,
+                                      double scale, uint64_t seed,
+                                      CalibrationOptions calibration);
+
   const Catalog& catalog() const { return catalog_; }
   int num_targets() const { return static_cast<int>(targets_.size()); }
   double scale() const { return scale_; }

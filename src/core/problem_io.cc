@@ -64,6 +64,7 @@ Result<ObjectKind> ParseKind(const std::string& token) {
 
 /// Mutable state while parsing.
 struct ParseState {
+  ProblemIoOptions options;
   LoadedProblem out;
   std::map<std::string, const CostModel*> devices;  // device name -> model
   std::map<std::string, int> object_index;
@@ -109,7 +110,7 @@ Status HandleDevice(ParseState* st, const std::vector<std::string>& tok) {
       return Status::Ok();
     }
   }
-  auto calibrated = CalibrateDevice(*proto);
+  auto calibrated = CalibrateDeviceCached(*proto, st->options.calibration);
   if (!calibrated.ok()) return calibrated.status();
   st->out.owned_models.push_back(
       std::make_unique<CostModel>(std::move(calibrated).value()));
@@ -234,8 +235,10 @@ Status HandleWorkload(ParseState* st, const std::vector<std::string>& tok) {
 
 }  // namespace
 
-Result<LoadedProblem> ParseProblemText(const std::string& text) {
+Result<LoadedProblem> ParseProblemText(const std::string& text,
+                                       const ProblemIoOptions& options) {
   ParseState st;
+  st.options = options;
   std::istringstream in(text);
   std::string line;
   int line_no = 0;
@@ -370,14 +373,15 @@ Result<LoadedProblem> ParseProblemText(const std::string& text) {
   return std::move(st.out);
 }
 
-Result<LoadedProblem> LoadProblemFile(const std::string& path) {
+Result<LoadedProblem> LoadProblemFile(const std::string& path,
+                                      const ProblemIoOptions& options) {
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ParseProblemText(buffer.str());
+  return ParseProblemText(buffer.str(), options);
 }
 
 std::string FormatAdvisorReport(const LayoutProblem& problem,

@@ -7,6 +7,7 @@
 
 #include "core/advisor.h"
 #include "core/problem.h"
+#include "model/calibration.h"
 #include "model/cost_model.h"
 
 namespace ldb {
@@ -15,6 +16,13 @@ namespace ldb {
 struct LoadedProblem {
   LayoutProblem problem;
   std::vector<std::unique_ptr<CostModel>> owned_models;
+};
+
+/// Knobs for loading problem files.
+struct ProblemIoOptions {
+  /// Calibration of `device` directives: grid, parallelism, and the
+  /// persistent cost-model cache (`--calibration-cache` on the CLIs).
+  CalibrationOptions calibration;
 };
 
 /// Parses the layoutdb problem-file format — the input of the standalone
@@ -35,11 +43,14 @@ struct LoadedProblem {
 ///   separate <object_a> <object_b>
 ///
 /// `device` calibrates the built-in device model on first use (one
-/// calibration per distinct model per load).
-Result<LoadedProblem> ParseProblemText(const std::string& text);
+/// calibration per distinct model per load, served from the calibration
+/// cache when one is configured).
+Result<LoadedProblem> ParseProblemText(const std::string& text,
+                                       const ProblemIoOptions& options = {});
 
 /// Reads and parses a problem file from disk.
-Result<LoadedProblem> LoadProblemFile(const std::string& path);
+Result<LoadedProblem> LoadProblemFile(const std::string& path,
+                                      const ProblemIoOptions& options = {});
 
 /// Renders an advisor result as a human-readable report (layouts,
 /// per-stage utilizations, timings) for the CLI.

@@ -1,15 +1,24 @@
 #include "model/calibration.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <utility>
 
 #include "util/check.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace ldb {
 
 namespace {
+
+std::atomic<uint64_t> g_measure_points{0};
 
 /// Measures the mean primary-request service time at one grid point.
 ///
@@ -21,6 +30,7 @@ namespace {
 double MeasurePoint(BlockDevice* dev, double request_size, double run_count,
                     double contention, bool primary_is_write,
                     const CalibrationOptions& opts, Rng* rng) {
+  g_measure_points.fetch_add(1, std::memory_order_relaxed);
   dev->Reset();
   const int64_t size = static_cast<int64_t>(request_size);
   const int64_t capacity = dev->capacity_bytes();
@@ -40,7 +50,17 @@ double MeasurePoint(BlockDevice* dev, double request_size, double run_count,
   double total = 0.0;
   int measured = 0;
   const int rounds = opts.warmup_requests + opts.sample_requests;
+  // Pending requests of one round with their positioning estimates; the
+  // estimate is taken once when the round's queue forms (the state the
+  // scheduler would order on), not re-queried after every serve, which
+  // keeps the round O(B) estimate calls instead of O(B²).
+  struct Pending {
+    double estimate;
+    uint32_t order;  ///< arrival index; primary is 0
+    DeviceRequest req;
+  };
   std::vector<DeviceRequest> batch;
+  std::vector<Pending> pending;
   for (int round = 0; round < rounds; ++round) {
     batch.clear();
     // Primary request: continue the current sequential run or jump.
@@ -61,33 +81,58 @@ double MeasurePoint(BlockDevice* dev, double request_size, double run_count,
       interferer_credit -= 1.0;
     }
 
-    // Serve the round shortest-positioning-first (index 0 starts as the
-    // primary; track it across erasures).
-    size_t primary_idx = 0;
-    while (!batch.empty()) {
+    // Serve the round shortest-positioning-first, breaking estimate ties
+    // by arrival order; swap-remove keeps the scan cheap.
+    pending.clear();
+    for (size_t b = 0; b < batch.size(); ++b) {
+      pending.push_back(Pending{dev->PositioningEstimate(batch[b]),
+                                static_cast<uint32_t>(b), batch[b]});
+    }
+    while (!pending.empty()) {
       size_t best = 0;
-      double best_cost = dev->PositioningEstimate(batch[0]);
-      for (size_t b = 1; b < batch.size(); ++b) {
-        const double c = dev->PositioningEstimate(batch[b]);
-        if (c < best_cost) {
-          best_cost = c;
+      for (size_t b = 1; b < pending.size(); ++b) {
+        if (pending[b].estimate < pending[best].estimate ||
+            (pending[b].estimate == pending[best].estimate &&
+             pending[b].order < pending[best].order)) {
           best = b;
         }
       }
-      const double t = dev->ServiceTime(batch[best]);
-      if (best == primary_idx) {
-        if (round >= opts.warmup_requests) {
-          total += t;
-          ++measured;
-        }
-        primary_idx = batch.size();  // served; no longer in the batch
+      const double t = dev->ServiceTime(pending[best].req);
+      if (pending[best].order == 0 && round >= opts.warmup_requests) {
+        total += t;
+        ++measured;
       }
-      batch.erase(batch.begin() + static_cast<std::ptrdiff_t>(best));
-      if (best < primary_idx) --primary_idx;
+      pending[best] = pending.back();
+      pending.pop_back();
     }
   }
   LDB_CHECK_GT(measured, 0);
   return total / measured;
+}
+
+/// FNV-1a over the bytes of `text`, folded into `hash`.
+uint64_t HashText(uint64_t hash, const std::string& text) {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string KeyHex(uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+/// The cache directory to use: the explicit option wins, then the
+/// environment (how CI shares calibrations across jobs and runs), else
+/// none.
+std::string ResolveCacheDir(const CalibrationOptions& options) {
+  if (!options.cache_dir.empty()) return options.cache_dir;
+  const char* env = std::getenv("LDB_CALIBRATION_CACHE");
+  return env == nullptr ? std::string() : std::string(env);
 }
 
 }  // namespace
@@ -101,27 +146,135 @@ Result<CostModel> CalibrateDevice(const BlockDevice& prototype,
   if (options.sample_requests <= 0) {
     return Status::InvalidArgument("sample_requests must be positive");
   }
-  std::unique_ptr<BlockDevice> dev = prototype.Clone();
-  Rng rng(options.seed);
+  const size_t n_run = options.run_axis.size();
+  const size_t n_chi = options.contention_axis.size();
+  const size_t points = options.size_axis.size() * n_run * n_chi;
+  std::vector<double> read_costs(points), write_costs(points);
 
-  std::vector<double> read_costs, write_costs;
-  const size_t points = options.size_axis.size() * options.run_axis.size() *
-                        options.contention_axis.size();
-  read_costs.reserve(points);
-  write_costs.reserve(points);
-  for (double size : options.size_axis) {
-    for (double run : options.run_axis) {
-      for (double chi : options.contention_axis) {
-        read_costs.push_back(
-            MeasurePoint(dev.get(), size, run, chi, false, options, &rng));
-        write_costs.push_back(
-            MeasurePoint(dev.get(), size, run, chi, true, options, &rng));
-      }
-    }
+  // One independent task per grid point: its own RNG stream (seeded from
+  // the point index, not the schedule) and a device clone reset by
+  // MeasurePoint, writing to index-addressed slots — the same determinism
+  // discipline as the solver's parallel paths, so the tables are
+  // bit-identical for every thread count.
+  auto measure = [&](BlockDevice* dev, size_t p) {
+    const double size = options.size_axis[p / (n_run * n_chi)];
+    const double run = options.run_axis[(p / n_chi) % n_run];
+    const double chi = options.contention_axis[p % n_chi];
+    Rng rng(MixSeed(options.seed, p));
+    read_costs[p] = MeasurePoint(dev, size, run, chi, false, options, &rng);
+    write_costs[p] = MeasurePoint(dev, size, run, chi, true, options, &rng);
+  };
+
+  const int threads = std::min<int64_t>(
+      ThreadPool::EffectiveThreads(options.num_threads),
+      static_cast<int64_t>(points));
+  if (threads <= 1) {
+    std::unique_ptr<BlockDevice> dev = prototype.Clone();
+    for (size_t p = 0; p < points; ++p) measure(dev.get(), p);
+  } else {
+    std::vector<std::unique_ptr<BlockDevice>> devs(
+        static_cast<size_t>(threads));
+    for (auto& dev : devs) dev = prototype.Clone();
+    ThreadPool pool(threads);
+    pool.ParallelFor(static_cast<int64_t>(points),
+                     [&](int rank, int64_t p) {
+                       measure(devs[static_cast<size_t>(rank)].get(),
+                               static_cast<size_t>(p));
+                     });
   }
   return CostModel::Create(prototype.model_name(), options.size_axis,
                            options.run_axis, options.contention_axis,
                            std::move(read_costs), std::move(write_costs));
+}
+
+uint64_t CalibrationCacheKey(const BlockDevice& prototype,
+                             const CalibrationOptions& options) {
+  std::ostringstream text;
+  text.precision(17);
+  text << "calib-v1|" << prototype.ParamsText() << "|sizes";
+  for (double v : options.size_axis) text << " " << v;
+  text << "|runs";
+  for (double v : options.run_axis) text << " " << v;
+  text << "|chi";
+  for (double v : options.contention_axis) text << " " << v;
+  text << "|warmup " << options.warmup_requests << "|samples "
+       << options.sample_requests << "|intf " << options.interferer_size_bytes
+       << "|seed " << options.seed;
+  return HashText(14695981039346656037ULL, text.str());
+}
+
+std::string CalibrationCachePath(const std::string& dir,
+                                 const BlockDevice& prototype,
+                                 const CalibrationOptions& options) {
+  return dir + "/" + prototype.model_name() + "-" +
+         KeyHex(CalibrationCacheKey(prototype, options)) + ".costmodel";
+}
+
+Status SaveCostModelCache(const std::string& path, uint64_t key,
+                          const CostModel& model) {
+  // Concurrent savers of the same key write identical bytes, so the only
+  // hazard is a reader seeing a partial file; write-then-rename avoids it.
+  static std::atomic<uint64_t> tmp_counter{0};
+  const std::string tmp =
+      path + ".tmp" + std::to_string(tmp_counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot write calibration cache file " + tmp);
+    }
+    out << "calibcache v1 " << KeyHex(key) << "\n" << model.ToText();
+    if (!out.good()) {
+      return Status::Internal("short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<CostModel> LoadCostModelCache(const std::string& path,
+                                     uint64_t expected_key) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("no calibration cache file " + path);
+  }
+  std::string magic, version, key_hex;
+  if (!(in >> magic >> version >> key_hex) || magic != "calibcache" ||
+      version != "v1") {
+    return Status::InvalidArgument("bad calibration cache header in " + path);
+  }
+  if (key_hex != KeyHex(expected_key)) {
+    return Status::NotFound("stale calibration cache key in " + path);
+  }
+  in.ignore(1);  // the newline ending the header
+  std::ostringstream body;
+  body << in.rdbuf();
+  return CostModel::FromText(body.str());
+}
+
+Result<CostModel> CalibrateDeviceCached(const BlockDevice& prototype,
+                                        const CalibrationOptions& options) {
+  const std::string dir = ResolveCacheDir(options);
+  if (dir.empty()) return CalibrateDevice(prototype, options);
+  const uint64_t key = CalibrationCacheKey(prototype, options);
+  const std::string path = CalibrationCachePath(dir, prototype, options);
+  auto cached = LoadCostModelCache(path, key);
+  if (cached.ok()) return cached;
+  auto model = CalibrateDevice(prototype, options);
+  if (!model.ok()) return model;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  // Failure to persist only costs a future recalibration.
+  (void)SaveCostModelCache(path, key, *model);
+  return model;
+}
+
+uint64_t CalibrationMeasurePoints() {
+  return g_measure_points.load(std::memory_order_relaxed);
 }
 
 void CostModelRegistry::Register(CostModel model) {
@@ -145,7 +298,7 @@ Result<CostModelRegistry> CostModelRegistry::ForDevices(
       return Status::InvalidArgument("null device prototype");
     }
     if (registry.Find(proto->model_name()) != nullptr) continue;
-    auto model = CalibrateDevice(*proto, options);
+    auto model = CalibrateDeviceCached(*proto, options);
     if (!model.ok()) return model.status();
     registry.Register(std::move(model).value());
   }

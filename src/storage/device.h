@@ -40,6 +40,12 @@ class BlockDevice {
   /// calibrated cost models: devices with equal model names must have equal
   /// performance parameters.
   virtual const std::string& model_name() const = 0;
+
+  /// Stable textual dump of every parameter that affects ServiceTime /
+  /// PositioningEstimate (including capacity, which scales with the
+  /// experiment). Two devices with equal ParamsText() behave identically,
+  /// so the string keys persisted calibration results.
+  virtual std::string ParamsText() const = 0;
 };
 
 }  // namespace ldb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "util/check.h"
 
@@ -131,6 +132,20 @@ void DiskModel::Reset() {
 
 std::unique_ptr<BlockDevice> DiskModel::Clone() const {
   return std::make_unique<DiskModel>(params_);
+}
+
+std::string DiskModel::ParamsText() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "disk " << params_.model_name << " cap " << params_.capacity_bytes
+      << " rpm " << params_.rpm << " seek " << params_.min_seek_s << " "
+      << params_.max_seek_s << " xfer " << params_.transfer_mbps << " ovh "
+      << params_.per_request_overhead_s << " streams "
+      << params_.readahead_streams << " slack "
+      << params_.sequential_slack_bytes << " switch "
+      << params_.stream_switch_penalty_s << " wpos "
+      << params_.write_positioning_factor;
+  return out.str();
 }
 
 }  // namespace ldb

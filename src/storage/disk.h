@@ -71,6 +71,7 @@ class DiskModel final : public BlockDevice {
   const std::string& model_name() const override {
     return params_.model_name;
   }
+  std::string ParamsText() const override;
 
   const DiskParams& params() const { return params_; }
 

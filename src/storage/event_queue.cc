@@ -6,9 +6,20 @@
 
 namespace ldb {
 
+std::atomic<uint64_t> EventQueue::Callback::heap_allocations_{0};
+
 void EventQueue::ScheduleAt(double when, Callback cb) {
   LDB_CHECK_GE(when, now_);
-  events_.push(Event{when, next_seq_++, std::move(cb)});
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    pool_[slot] = std::move(cb);
+  } else {
+    slot = static_cast<uint32_t>(pool_.size());
+    pool_.push_back(std::move(cb));
+  }
+  events_.push(PendingEvent{when, next_seq_++, slot});
 }
 
 void EventQueue::ScheduleAfter(double delay, Callback cb) {
@@ -16,29 +27,25 @@ void EventQueue::ScheduleAfter(double delay, Callback cb) {
   ScheduleAt(now_ + delay, std::move(cb));
 }
 
+void EventQueue::RunOne() {
+  const PendingEvent ev = events_.top();
+  events_.pop();
+  now_ = ev.when;
+  ++events_executed_;
+  // Move the callback out and recycle the slot before invoking: the
+  // callback may schedule more events into this queue.
+  Callback cb = std::move(pool_[ev.slot]);
+  free_slots_.push_back(ev.slot);
+  cb();
+}
+
 double EventQueue::RunUntilIdle() {
-  while (!events_.empty()) {
-    // The callback may schedule more events, so pop before invoking.
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    now_ = ev.when;
-    ++events_executed_;
-    ev.cb();
-  }
+  while (!events_.empty()) RunOne();
   return now_;
 }
 
 double EventQueue::RunUntil(double deadline) {
-  while (!events_.empty() && events_.top().when <= deadline) {
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    now_ = ev.when;
-    ++events_executed_;
-    ev.cb();
-  }
-  if (now_ < deadline && events_.empty()) {
-    // Idle before the deadline: clock stays at the last event.
-  }
+  while (!events_.empty() && events_.top().when <= deadline) RunOne();
   return now_;
 }
 

@@ -1,5 +1,7 @@
 #include "storage/ssd.h"
 
+#include <sstream>
+
 #include "util/check.h"
 
 namespace ldb {
@@ -24,6 +26,15 @@ double SsdModel::PositioningEstimate(const DeviceRequest&) const {
 
 std::unique_ptr<BlockDevice> SsdModel::Clone() const {
   return std::make_unique<SsdModel>(params_);
+}
+
+std::string SsdModel::ParamsText() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "ssd " << params_.model_name << " cap " << params_.capacity_bytes
+      << " rlat " << params_.read_latency_s << " wlat "
+      << params_.write_latency_s << " xfer " << params_.transfer_mbps;
+  return out.str();
 }
 
 }  // namespace ldb

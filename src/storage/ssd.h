@@ -35,6 +35,7 @@ class SsdModel final : public BlockDevice {
   const std::string& model_name() const override {
     return params_.model_name;
   }
+  std::string ParamsText() const override;
 
   const SsdParams& params() const { return params_; }
 

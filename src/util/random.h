@@ -8,6 +8,13 @@
 
 namespace ldb {
 
+/// Derives a decorrelated seed for stream number `stream` of a family of
+/// generators rooted at `seed` (a splitmix64 finalization of the pair).
+/// Equal inputs give equal outputs, so parallel code can give each work
+/// item its own Rng — `Rng(MixSeed(seed, index))` — and stay bit-identical
+/// regardless of how items are scheduled over threads.
+uint64_t MixSeed(uint64_t seed, uint64_t stream);
+
 /// Deterministic pseudo-random number generator (xoshiro256**).
 ///
 /// Used throughout the simulator and solver so that every experiment is

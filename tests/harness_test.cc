@@ -1,4 +1,7 @@
+#include <unistd.h>
+
 #include <memory>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -103,6 +106,35 @@ TEST(HarnessTest, ScaledDeviceCapacityTracksScale) {
   EXPECT_NEAR(static_cast<double>(cap_large),
               2.0 * static_cast<double>(cap_small),
               static_cast<double>(cap_small) * 0.01);
+}
+
+TEST(HarnessTest, WarmCalibrationCacheSkipsAllMeasurement) {
+  std::string dir = ::testing::TempDir();
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  dir += "ldb-harness-calib-cache-" + std::to_string(getpid());
+
+  CalibrationOptions calibration;
+  calibration.cache_dir = dir;
+
+  auto cold = ExperimentRig::Create(Catalog::TpcH(kScale),
+                                    {{"d0"}, {"d1"}}, kScale, 3, calibration);
+  ASSERT_TRUE(cold.ok());
+
+  // A second rig over the same devices and options must be served entirely
+  // from the cache: zero grid-point measurements.
+  const uint64_t before = CalibrationMeasurePoints();
+  auto warm = ExperimentRig::Create(Catalog::TpcH(kScale),
+                                    {{"d0"}, {"d1"}}, kScale, 3, calibration);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(CalibrationMeasurePoints(), before);
+
+  // A different rig seed changes calibration.seed, so the cache entry is
+  // stale and measurement resumes.
+  auto other_seed = ExperimentRig::Create(Catalog::TpcH(kScale),
+                                          {{"d0"}, {"d1"}}, kScale, 4,
+                                          calibration);
+  ASSERT_TRUE(other_seed.ok());
+  EXPECT_GT(CalibrationMeasurePoints(), before);
 }
 
 TEST(HarnessTest, SsdTargetUsesSsdCostModel) {

@@ -1,3 +1,4 @@
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -62,6 +63,50 @@ TEST(EventQueueTest, CountsEvents) {
   for (int i = 0; i < 7; ++i) q.ScheduleAfter(1.0, [] {});
   q.RunUntilIdle();
   EXPECT_EQ(q.events_executed(), 7u);
+}
+
+TEST(EventQueueTest, SteadyStateChainRecyclesOneSlotWithoutHeap) {
+  EventQueue q;
+  const uint64_t heap_before = EventQueue::callback_heap_allocations();
+  uint64_t fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 1000) q.ScheduleAfter(1.0, [&] { chain(); });
+  };
+  q.ScheduleAfter(1.0, [&] { chain(); });
+  q.RunUntilIdle();
+  EXPECT_EQ(fired, 1000u);
+  // One event outstanding at a time: the slab never grows past one slot,
+  // and no capture spills to the heap.
+  EXPECT_EQ(q.callback_pool_slots(), 1u);
+  EXPECT_EQ(EventQueue::callback_heap_allocations(), heap_before);
+}
+
+TEST(EventQueueTest, BurstGrowsSlabOnceThenReusesIt) {
+  EventQueue q;
+  int fired = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 64; ++i) q.ScheduleAfter(1.0, [&] { ++fired; });
+    q.RunUntilIdle();
+    // The slab grows to the burst size on the first round and is reused
+    // (free-list) on every later one.
+    EXPECT_EQ(q.callback_pool_slots(), 64u);
+  }
+  EXPECT_EQ(fired, 5 * 64);
+}
+
+TEST(EventQueueTest, OversizeCaptureFallsBackToHeapAndStillRuns) {
+  EventQueue q;
+  const uint64_t heap_before = EventQueue::callback_heap_allocations();
+  struct Big {
+    char payload[EventQueue::kInlineCallbackBytes + 32];
+  };
+  Big big{};
+  big.payload[0] = 42;
+  int seen = 0;
+  q.ScheduleAfter(1.0, [big, &seen] { seen = big.payload[0]; });
+  EXPECT_EQ(EventQueue::callback_heap_allocations(), heap_before + 1);
+  q.RunUntilIdle();
+  EXPECT_EQ(seen, 42);
 }
 
 // ------------------------------------------------------------ DiskModel

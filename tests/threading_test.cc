@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include "model/calibration.h"
 #include "model/cost_model.h"
 #include "model/target_model.h"
+#include "storage/disk.h"
+#include "storage/ssd.h"
 #include "solver/multistart.h"
 #include "solver/projected_gradient.h"
 #include "util/random.h"
@@ -303,6 +306,52 @@ TEST(MultiStartThreadingTest, BitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(r->objective_evaluations, reference.objective_evaluations);
     EXPECT_EQ(r->incremental_evaluations, reference.incremental_evaluations);
   }
+}
+
+// ------------------------------------------------- Calibration threading
+
+TEST(CalibrationThreadingTest, BitIdenticalAcrossThreadCounts) {
+  DiskModel disk(Scsi15kParams());
+  CalibrationOptions options;
+  // Small multi-axis grid: fast, but still exercises the point -> (size,
+  // runs, chi) decoding and the per-point RNG streams.
+  options.size_axis = {static_cast<double>(8 * kKiB),
+                       static_cast<double>(64 * kKiB)};
+  options.run_axis = {1, 16};
+  options.contention_axis = {0, 2};
+  options.sample_requests = 48;
+  options.warmup_requests = 8;
+
+  options.num_threads = 1;
+  auto golden = CalibrateDevice(disk, options);
+  ASSERT_TRUE(golden.ok());
+  const std::string golden_text = golden->ToText();
+
+  for (int threads : {2, 8, 0}) {
+    options.num_threads = threads;
+    auto m = CalibrateDevice(disk, options);
+    ASSERT_TRUE(m.ok()) << "threads=" << threads;
+    EXPECT_EQ(m->ToText(), golden_text) << "threads=" << threads;
+  }
+}
+
+TEST(CalibrationThreadingTest, SsdBitIdenticalAcrossThreadCounts) {
+  SsdModel ssd(SsdParams{});
+  CalibrationOptions options;
+  options.size_axis = {static_cast<double>(8 * kKiB)};
+  options.run_axis = {1, 8};
+  options.contention_axis = {0, 4};
+  options.sample_requests = 32;
+  options.warmup_requests = 4;
+
+  options.num_threads = 1;
+  auto golden = CalibrateDevice(ssd, options);
+  ASSERT_TRUE(golden.ok());
+
+  options.num_threads = 8;
+  auto parallel = CalibrateDevice(ssd, options);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->ToText(), golden->ToText());
 }
 
 // ------------------------------------------------------- Engine economics

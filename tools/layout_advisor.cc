@@ -7,10 +7,15 @@
 // Usage:
 //   layout_advisor <problem-file> [--no-regularize] [--seeds=<n>]
 //                  [--compare-see] [--threads=<n>]
+//                  [--calibration-cache=<dir>]
 //
-// --threads=<n> sets the solver's evaluation-engine parallelism (1 =
-// serial default, 0 = one thread per hardware core). The recommended
-// layout is identical for every thread count.
+// --threads=<n> sets the solver's evaluation-engine parallelism and the
+// device-calibration parallelism (0 = one thread per hardware core). The
+// recommended layout is identical for every thread count.
+//
+// --calibration-cache=<dir> persists calibrated device cost models across
+// invocations (keyed by device parameters + calibration options), so
+// repeated runs skip the Section 5.2.2 measurement entirely.
 //
 // The problem file describes objects, workloads, targets and constraints;
 // see src/core/problem_io.h for the format and examples/data/ for a
@@ -29,11 +34,13 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <problem-file> [--no-regularize] [--seeds=<n>] "
-                 "[--compare-see] [--threads=<n>]\n",
+                 "[--compare-see] [--threads=<n>] "
+                 "[--calibration-cache=<dir>]\n",
                  argv[0]);
     return 2;
   }
   AdvisorOptions options;
+  ProblemIoOptions io_options;
   bool compare_see = false;
   std::string path;
   for (int a = 1; a < argc; ++a) {
@@ -45,6 +52,9 @@ int main(int argc, char** argv) {
       compare_see = true;
     } else if (std::strncmp(argv[a], "--threads=", 10) == 0) {
       options.solver.num_threads = std::atoi(argv[a] + 10);
+      io_options.calibration.num_threads = options.solver.num_threads;
+    } else if (std::strncmp(argv[a], "--calibration-cache=", 20) == 0) {
+      io_options.calibration.cache_dir = argv[a] + 20;
     } else if (argv[a][0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", argv[a]);
       return 2;
@@ -57,7 +67,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto loaded = LoadProblemFile(path);
+  auto loaded = LoadProblemFile(path, io_options);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s: %s\n", path.c_str(),
                  loaded.status().ToString().c_str());

@@ -15,10 +15,12 @@
 //   --scale=<f>    database/device scale (default 0.05)
 //   --seed=<n>     workload shuffle / simulation seed (default 7)
 //   --disks=<n>    number of single-disk targets (default 4)
+//   --calibration-cache=<dir>   persistent device cost-model cache
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "core/harness.h"
 #include "util/table.h"
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
   double scale = 0.05;
   uint64_t seed = 7;
   int disks = 4;
+  CalibrationOptions calibration;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--workload=", 11) == 0) {
       workload = argv[a] + 11;
@@ -41,6 +44,8 @@ int main(int argc, char** argv) {
       seed = static_cast<uint64_t>(std::atoll(argv[a] + 7));
     } else if (std::strncmp(argv[a], "--disks=", 8) == 0) {
       disks = std::atoi(argv[a] + 8);
+    } else if (std::strncmp(argv[a], "--calibration-cache=", 20) == 0) {
+      calibration.cache_dir = argv[a] + 20;
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[a]);
       return 2;
@@ -62,7 +67,8 @@ int main(int argc, char** argv) {
   for (int j = 0; j < disks; ++j) {
     targets.push_back(RigTargetDef{StrFormat("disk%d", j)});
   }
-  auto rig = ExperimentRig::Create(catalog, targets, scale, seed);
+  auto rig = ExperimentRig::Create(catalog, targets, scale, seed,
+                                   std::move(calibration));
   if (!rig.ok()) {
     std::fprintf(stderr, "rig: %s\n", rig.status().ToString().c_str());
     return 1;
