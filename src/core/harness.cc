@@ -155,6 +155,36 @@ Result<RunResult> ExperimentRig::Execute(const Layout& layout,
   return Status::InvalidArgument("no workload given");
 }
 
+Result<RunResult> ExperimentRig::ExecuteWithFaults(
+    const Layout& layout, const OlapSpec* olap, const OltpSpec* oltp,
+    const FaultPlan& plan, double oltp_duration_s) const {
+  if (!layout.IsRegular()) {
+    return Status::FailedPrecondition(
+        "ExecuteWithFaults requires a regular layout");
+  }
+  auto system = MakeSystem();
+  std::vector<std::vector<int>> placements;
+  placements.reserve(static_cast<size_t>(catalog_.num_objects()));
+  for (int i = 0; i < catalog_.num_objects(); ++i) {
+    placements.push_back(layout.TargetsOf(i));
+  }
+  auto volumes =
+      StripedVolumeManager::Create(catalog_.sizes(), std::move(placements),
+                                   system->capacities(), kLvmStripeBytes);
+  if (!volumes.ok()) return volumes.status();
+
+  // Arm before the run: fault times are ScheduleAfter-relative, and the
+  // runner's target Reset preserves fault RNG seeds and retry policy.
+  FaultInjector injector(system.get(), plan);
+  LDB_RETURN_IF_ERROR(injector.Arm());
+
+  WorkloadRunner runner(system.get(), &*volumes, seed_);
+  if (olap != nullptr && oltp != nullptr) return runner.RunMixed(*olap, *oltp);
+  if (olap != nullptr) return runner.RunOlap(*olap);
+  if (oltp != nullptr) return runner.RunOltp(*oltp, oltp_duration_s);
+  return Status::InvalidArgument("no workload given");
+}
+
 Result<WorkloadSet> ExperimentRig::FitWorkloads(const Layout& trace_layout,
                                                 const OlapSpec* olap,
                                                 const OltpSpec* oltp,

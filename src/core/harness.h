@@ -7,6 +7,7 @@
 
 #include "core/problem.h"
 #include "model/calibration.h"
+#include "storage/fault.h"
 #include "storage/storage_system.h"
 #include "util/status.h"
 #include "workload/catalog.h"
@@ -67,6 +68,16 @@ class ExperimentRig {
   Result<RunResult> Execute(const Layout& layout, const OlapSpec* olap,
                             const OltpSpec* oltp,
                             double oltp_duration_s = 0.0) const;
+
+  /// Execute with a deterministic fault plan armed on the fresh system
+  /// before the run starts (fault times are relative to run start). An
+  /// empty plan reproduces Execute exactly — the differential baseline the
+  /// fault tests pin down. The run's FaultStats land in RunResult::faults.
+  Result<RunResult> ExecuteWithFaults(const Layout& layout,
+                                      const OlapSpec* olap,
+                                      const OltpSpec* oltp,
+                                      const FaultPlan& plan,
+                                      double oltp_duration_s = 0.0) const;
 
   /// The paper's workload-characterization pipeline (Section 5.1): runs
   /// the workloads under `trace_layout` with tracing enabled and fits

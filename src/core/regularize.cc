@@ -9,6 +9,16 @@
 
 namespace ldb {
 
+double EffectiveTargetUtilization(const RegularizerOptions& options,
+                                  double mu_j, int j) {
+  if (options.target_derate.empty()) return mu_j;
+  const double d = options.target_derate[static_cast<size_t>(j)];
+  if (d >= 1.0) return mu_j;
+  // Failed target: any load at all disqualifies the candidate.
+  if (d <= 0.0) return mu_j > 0.0 ? 1e12 : 0.0;
+  return mu_j / d;
+}
+
 Regularizer::Regularizer(const LayoutProblem* problem,
                          const TargetModel* model,
                          RegularizerOptions options)
@@ -23,6 +33,8 @@ RegularCandidateChoice BestRegularRowForObject(
     const std::vector<double>& mu) {
   const int m = problem.num_targets();
   const std::vector<int64_t> capacities = problem.capacities();
+  LDB_CHECK(options.target_derate.empty() ||
+            options.target_derate.size() == static_cast<size_t>(m));
 
   std::vector<bool> was_nonzero(static_cast<size_t>(m), false);
   for (int j = 0; j < m; ++j) {
@@ -30,26 +42,40 @@ RegularCandidateChoice BestRegularRowForObject(
         current->At(i, j) > options.zero_tolerance;
   }
 
+  // Candidate universe: the object's allowed targets (all targets when
+  // unrestricted). Generating prefixes from the allowed set — rather than
+  // filtering afterwards — keeps candidates available even when a
+  // disallowed target would sort ahead of every allowed one.
+  std::vector<int> universe;
+  if (!problem.constraints.empty() &&
+      !problem.constraints.AllowedFor(i).empty()) {
+    universe = problem.constraints.AllowedFor(i);
+  } else {
+    universe.resize(static_cast<size_t>(m));
+    std::iota(universe.begin(), universe.end(), 0);
+  }
   // Class 1 (consistent): targets by current fraction, descending; ties
   // broken by target id (paper footnote 1).
-  std::vector<int> by_fraction(static_cast<size_t>(m));
-  std::iota(by_fraction.begin(), by_fraction.end(), 0);
+  std::vector<int> by_fraction = universe;
   std::stable_sort(by_fraction.begin(), by_fraction.end(), [&](int a, int b) {
     return current->At(i, a) > current->At(i, b);
   });
   // Class 2 (balancing): targets by current load, ascending.
-  std::vector<int> by_load(static_cast<size_t>(m));
-  std::iota(by_load.begin(), by_load.end(), 0);
+  std::vector<int> by_load = universe;
   std::stable_sort(by_load.begin(), by_load.end(), [&](int a, int b) {
-    return mu[static_cast<size_t>(a)] < mu[static_cast<size_t>(b)];
+    return EffectiveTargetUtilization(options, mu[static_cast<size_t>(a)],
+                                      a) <
+           EffectiveTargetUtilization(options, mu[static_cast<size_t>(b)], b);
   });
 
   std::vector<std::vector<int>> candidates;
-  candidates.reserve(static_cast<size_t>(2 * m));
-  for (int k = 1; k <= m; ++k) {
-    candidates.emplace_back(by_fraction.begin(), by_fraction.begin() + k);
+  candidates.reserve(2 * universe.size());
+  for (size_t k = 1; k <= universe.size(); ++k) {
+    candidates.emplace_back(by_fraction.begin(),
+                            by_fraction.begin() + static_cast<long>(k));
     if (options.balancing_candidates) {
-      candidates.emplace_back(by_load.begin(), by_load.begin() + k);
+      candidates.emplace_back(by_load.begin(),
+                              by_load.begin() + static_cast<long>(k));
     }
   }
   // Administrative constraints: drop candidates using disallowed targets
@@ -101,7 +127,9 @@ RegularCandidateChoice BestRegularRowForObject(
         trial_mu[static_cast<size_t>(j)] =
             model.TargetUtilization(problem.workloads, *current, j);
       }
-      objective = std::max(objective, trial_mu[static_cast<size_t>(j)]);
+      objective = std::max(
+          objective, EffectiveTargetUtilization(
+                         options, trial_mu[static_cast<size_t>(j)], j));
     }
     if (!best.found || objective < best.objective) {
       best.found = true;
@@ -168,8 +196,13 @@ Result<Layout> Regularizer::Regularize(const Layout& solver_layout) const {
   for (int pass = 0; pass < options_.refinement_passes; ++pass) {
     bool improved = false;
     for (int i : order) {
-      const double current_objective =
-          *std::max_element(mu.begin(), mu.end());
+      double current_objective = 0.0;
+      for (int j = 0; j < m; ++j) {
+        current_objective = std::max(
+            current_objective,
+            EffectiveTargetUtilization(options_, mu[static_cast<size_t>(j)],
+                                       j));
+      }
       RegularCandidateChoice choice = BestRegularRowForObject(
           *problem_, *model_, options_, &current, i, mu);
       if (choice.found && choice.objective < current_objective - 1e-12) {

@@ -24,7 +24,19 @@ struct RegularizerOptions {
   /// consistent-with-solver candidates — an ablation of the design choice
   /// discussed in paper Section 4.3.
   bool balancing_candidates = true;
+  /// Per-target service derating for failure-aware re-layout: target j
+  /// effectively delivers `target_derate[j]` of its healthy throughput, so
+  /// candidates are ranked by µ_j / derate_j. Empty = all healthy (1.0).
+  /// A derate of 0 marks a failed target: any load on it scores as
+  /// (effectively) infinite utilization. Size must equal the target count
+  /// when non-empty.
+  std::vector<double> target_derate;
 };
+
+/// µ_j adjusted for the derating in `options` (µ_j / derate_j; huge when
+/// a failed target carries load, µ_j unchanged when no derating is set).
+double EffectiveTargetUtilization(const RegularizerOptions& options,
+                                  double mu_j, int j);
 
 /// Regularization post-processor (paper Section 4.3): converts the
 /// solver's optimized but generally non-regular layout into a regular one

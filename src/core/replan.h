@@ -1,0 +1,119 @@
+#ifndef LAYOUTDB_CORE_REPLAN_H_
+#define LAYOUTDB_CORE_REPLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.h"
+#include "core/regularize.h"
+#include "model/layout.h"
+#include "solver/layout_nlp.h"
+#include "storage/fault.h"
+#include "util/status.h"
+
+namespace ldb {
+
+/// Health of the storage targets as seen by the re-layout step.
+struct TargetHealth {
+  /// failed[j] != 0: target j serves nothing (fail-stopped RAID0 member,
+  /// or a RAID group past its redundancy). All of its data must move.
+  std::vector<char> failed;
+  /// Fraction of healthy service capacity target j still delivers, in
+  /// (0, 1]; ignored for failed targets. A limping or rebuilding group is
+  /// derated, not failed: its data *may* move if that lowers the maximum
+  /// effective utilization.
+  std::vector<double> derate;
+
+  static TargetHealth Healthy(int num_targets) {
+    TargetHealth h;
+    h.failed.assign(static_cast<size_t>(num_targets), 0);
+    h.derate.assign(static_cast<size_t>(num_targets), 1.0);
+    return h;
+  }
+
+  int num_targets() const { return static_cast<int>(failed.size()); }
+  bool IsFailed(int j) const { return failed[static_cast<size_t>(j)] != 0; }
+  void MarkFailed(int j) { failed[static_cast<size_t>(j)] = 1; }
+  void Derate(int j, double factor) {
+    derate[static_cast<size_t>(j)] *= factor;
+  }
+
+  bool AllHealthy() const;
+  Status Validate(int num_targets) const;
+};
+
+/// Distills a fault plan into per-target health for the re-layout step.
+/// Fail-stops are folded per the target's RAID level (RAID0 → failed;
+/// RAID1/5 → derated survivors, failed past redundancy), sticky limps
+/// derate by 1/scale, sticky transient windows by (1-p) (each attempt
+/// succeeds with probability 1-p, so effective service rate scales by it).
+/// Rebuild/recover events and faults with a finite duration are treated as
+/// transient conditions that do not justify moving data.
+TargetHealth HealthFromFaultPlan(const FaultPlan& plan,
+                                 const std::vector<AdvisorTarget>& targets);
+
+/// Bytes that must move to adopt a replanned layout.
+struct MigrationPlan {
+  /// moved_in_bytes[i][j]: bytes of object i newly written onto target j
+  /// (size_i * max(0, L_new[i][j] - L_old[i][j])).
+  std::vector<std::vector<double>> moved_in_bytes;
+  double total_bytes = 0.0;
+  int objects_moved = 0;  ///< rows whose target set changed
+};
+
+struct ReplanOptions {
+  /// Candidate generation / derating knobs for the greedy passes. The
+  /// target_derate field is overwritten from TargetHealth.
+  RegularizerOptions regularize;
+  /// Polish the moved rows with a warm-started projected-gradient solve
+  /// (frozen_rows pins every surviving row); the polished layout is
+  /// re-regularized and kept only when it strictly lowers the effective
+  /// maximum utilization.
+  bool solver_polish = true;
+  /// Options for the polish solve. num_threads is honored; results stay
+  /// bit-identical across thread counts (solver guarantee).
+  SolverOptions solver;
+  /// A replacement layout must beat the incumbent by at least this much.
+  double improvement_epsilon = 1e-9;
+};
+
+/// Outcome of failure-aware re-layout.
+struct ReplanResult {
+  Layout layout;  ///< regular layout with zero mass on failed targets
+  MigrationPlan migration;
+  /// max_j µ_j / derate_j of `layout` under the degraded model.
+  double max_utilization = 0.0;
+  /// Same for the input layout (infinite when it uses a failed target).
+  double previous_max_utilization = 0.0;
+  bool replanned = false;  ///< false: input healthy, layout == input
+
+  ReplanResult() : layout(1, 1) {}
+};
+
+/// Failure-aware re-layout (sibling of PlaceIncrementally): rebuilds the
+/// placement around failed/derated targets while moving as little data as
+/// possible.
+///
+/// `current` must be the regular layout in effect (every row sums to 1).
+/// Rows with mass on a failed target are displaced and re-placed greedily
+/// (decreasing request rate, best regular candidate under the derated
+/// model, failed targets excluded via allowed-target constraints). Every
+/// other row is frozen — it never moves — unless it sits on a *derated*
+/// target and a refinement sweep finds a strictly better home for it.
+/// An optional warm-started solver polish (see ReplanOptions) then
+/// re-optimizes only the displaced rows.
+///
+/// The result's migration plan prices the move; a healthy TargetHealth is
+/// a guaranteed no-op (layout returned unchanged, zero bytes).
+///
+/// \returns Infeasible when the surviving capacity cannot hold the data or
+///   a displaced object has no feasible candidate; InvalidArgument for
+///   malformed inputs.
+Result<ReplanResult> ReplanAfterFailure(const LayoutProblem& problem,
+                                        const Layout& current,
+                                        const TargetHealth& health,
+                                        const ReplanOptions& options = {});
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_CORE_REPLAN_H_

@@ -41,6 +41,13 @@ struct LayoutNlpProblem {
   /// restrictions enter as a reduced feasible simplex per row; separation
   /// constraints enter as annealed quadratic penalties.
   PlacementConstraints constraints;
+
+  /// Warm-start freezing for incremental re-solves (failure-aware
+  /// re-layout): rows marked non-zero are taken verbatim from the initial
+  /// layout and never perturbed — no seed projection, zero gradient, no
+  /// update, and no capacity-repair donation. Empty = nothing frozen; size
+  /// must equal num_objects when set.
+  std::vector<char> frozen_rows;
 };
 
 /// Tuning knobs of the projected-gradient layout solver.

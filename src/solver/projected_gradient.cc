@@ -35,7 +35,17 @@ Status ValidateProblem(const LayoutNlpProblem& p, const Layout& initial) {
       initial.num_targets() != p.num_targets) {
     return Status::InvalidArgument("initial layout dimension mismatch");
   }
+  if (!p.frozen_rows.empty() &&
+      p.frozen_rows.size() != static_cast<size_t>(p.num_objects)) {
+    return Status::InvalidArgument("frozen_rows dimension mismatch");
+  }
   return p.constraints.Validate(p.num_objects, p.num_targets);
+}
+
+/// True when row i is frozen: kept verbatim from the initial layout.
+bool RowFrozen(const LayoutNlpProblem& p, int i) {
+  return !p.frozen_rows.empty() &&
+         p.frozen_rows[static_cast<size_t>(i)] != 0;
 }
 
 /// Projects row `i` onto its feasible simplex: the full simplex when the
@@ -234,6 +244,7 @@ void RepairCapacity(const LayoutNlpProblem& p, Layout* layout) {
     double donor_bytes = 0.0;
     double best_free = 0.0;
     for (int i = 0; i < n; ++i) {
+      if (RowFrozen(p, i)) continue;  // frozen rows never donate
       const double b =
           layout->At(i, worst) *
           static_cast<double>(p.object_sizes[static_cast<size_t>(i)]);
@@ -294,8 +305,10 @@ Result<SolverResult> ProjectedGradientSolver::Solve(
   SolverResult result;
   result.layout = initial;
   // Project the seed onto the feasible (integrity + allowed-target) set.
+  // Frozen rows are trusted as-is: they come from the surviving layout.
   std::vector<double> sub_scratch, sort_scratch;
   for (int i = 0; i < n; ++i) {
+    if (RowFrozen(problem, i)) continue;
     ProjectRowConstrained(problem, i, result.layout.Row(i), &sub_scratch,
                           &sort_scratch);
   }
@@ -351,6 +364,10 @@ Result<SolverResult> ProjectedGradientSolver::Solve(
         const double bytes_j = eval.bytes(j);
         const double sep = eval.separation();
         for (int i = 0; i < n; ++i) {
+          if (RowFrozen(problem, i)) {
+            grad[static_cast<size_t>(i) * static_cast<size_t>(m) + uj] = 0.0;
+            continue;
+          }
           const double si = static_cast<double>(
               problem.object_sizes[static_cast<size_t>(i)]);
           const double v = x.At(i, j);
@@ -409,6 +426,7 @@ Result<SolverResult> ProjectedGradientSolver::Solve(
       for (int bt = 0; bt < options_.max_backtracks; ++bt) {
         trial = x;
         for (int i = 0; i < n; ++i) {
+          if (RowFrozen(problem, i)) continue;
           double* row = trial.Row(i);
           const double* grow =
               &grad[static_cast<size_t>(i) * static_cast<size_t>(m)];

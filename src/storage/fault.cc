@@ -1,0 +1,279 @@
+#include "storage/fault.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace ldb {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFailStop:
+      return "fail";
+    case FaultKind::kLimp:
+      return "limp";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kRebuild:
+      return "rebuild";
+    case FaultKind::kRecover:
+      return "recover";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Status ParseDouble(const std::string& value, const std::string& key,
+                   double* out) {
+  char* end = nullptr;
+  *out = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StrFormat("fault spec: bad number '%s' for key '%s'", value.c_str(),
+                  key.c_str()));
+  }
+  return Status::Ok();
+}
+
+Status ParseInt(const std::string& value, const std::string& key,
+                int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StrFormat("fault spec: bad integer '%s' for key '%s'", value.c_str(),
+                  key.c_str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<FaultPlan> ParseFaultPlan(const std::string& text) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t clause_end = std::min(text.find(';', pos), text.size());
+    const std::string clause = text.substr(pos, clause_end - pos);
+    pos = clause_end + 1;
+    if (clause.empty()) continue;
+
+    FaultSpec spec;
+    bool has_fault_key = false;
+    size_t cpos = 0;
+    while (cpos <= clause.size()) {
+      const size_t item_end = std::min(clause.find(',', cpos), clause.size());
+      const std::string item = clause.substr(cpos, item_end - cpos);
+      cpos = item_end + 1;
+      if (item.empty()) continue;
+      const size_t eq = item.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument(
+            StrFormat("fault spec: '%s' is not key=value", item.c_str()));
+      }
+      const std::string key = item.substr(0, eq);
+      const std::string value = item.substr(eq + 1);
+      int64_t iv = 0;
+      double dv = 0.0;
+      if (key == "seed") {
+        LDB_RETURN_IF_ERROR(ParseInt(value, key, &iv));
+        plan.seed = static_cast<uint64_t>(iv);
+      } else if (key == "retries") {
+        LDB_RETURN_IF_ERROR(ParseInt(value, key, &iv));
+        plan.max_retries = static_cast<int>(iv);
+      } else if (key == "backoff") {
+        LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        plan.retry_backoff_s = dv;
+      } else if (key == "t") {
+        LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        spec.time = dv;
+        has_fault_key = true;
+      } else if (key == "target") {
+        LDB_RETURN_IF_ERROR(ParseInt(value, key, &iv));
+        spec.target = static_cast<int>(iv);
+        has_fault_key = true;
+      } else if (key == "member") {
+        LDB_RETURN_IF_ERROR(ParseInt(value, key, &iv));
+        spec.member = static_cast<int>(iv);
+        has_fault_key = true;
+      } else if (key == "kind") {
+        if (value == "fail") {
+          spec.kind = FaultKind::kFailStop;
+        } else if (value == "limp") {
+          spec.kind = FaultKind::kLimp;
+        } else if (value == "transient") {
+          spec.kind = FaultKind::kTransient;
+        } else if (value == "rebuild") {
+          spec.kind = FaultKind::kRebuild;
+        } else if (value == "recover") {
+          spec.kind = FaultKind::kRecover;
+        } else {
+          return Status::InvalidArgument(
+              StrFormat("fault spec: unknown kind '%s'", value.c_str()));
+        }
+        has_fault_key = true;
+      } else if (key == "scale") {
+        LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        spec.latency_scale = dv;
+        has_fault_key = true;
+      } else if (key == "p") {
+        LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        spec.error_prob = dv;
+        has_fault_key = true;
+      } else if (key == "duration") {
+        LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        spec.duration = dv;
+        has_fault_key = true;
+      } else if (key == "chunk") {
+        LDB_RETURN_IF_ERROR(ParseInt(value, key, &iv));
+        spec.rebuild_chunk_bytes = iv;
+        has_fault_key = true;
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("fault spec: unknown key '%s'", key.c_str()));
+      }
+    }
+    if (has_fault_key) plan.faults.push_back(spec);
+  }
+  return plan;
+}
+
+std::string FaultPlanToString(const FaultPlan& plan) {
+  std::string out = StrFormat("seed=%llu,retries=%d,backoff=%g",
+                              static_cast<unsigned long long>(plan.seed),
+                              plan.max_retries, plan.retry_backoff_s);
+  for (const FaultSpec& f : plan.faults) {
+    out += StrFormat(";t=%g,target=%d,member=%d,kind=%s", f.time, f.target,
+                     f.member, FaultKindName(f.kind));
+    if (f.kind == FaultKind::kLimp) {
+      out += StrFormat(",scale=%g", f.latency_scale);
+    }
+    if (f.kind == FaultKind::kTransient) {
+      out += StrFormat(",p=%g", f.error_prob);
+    }
+    if (f.duration > 0.0) out += StrFormat(",duration=%g", f.duration);
+    if (f.kind == FaultKind::kRebuild) {
+      out += StrFormat(",chunk=%lld",
+                       static_cast<long long>(f.rebuild_chunk_bytes));
+    }
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(StorageSystem* system, FaultPlan plan)
+    : system_(system), plan_(std::move(plan)) {
+  LDB_CHECK(system_ != nullptr);
+}
+
+Status FaultInjector::Arm() {
+  if (plan_.max_retries < 0) {
+    return Status::InvalidArgument("fault plan: retries must be >= 0");
+  }
+  if (plan_.retry_backoff_s < 0.0) {
+    return Status::InvalidArgument("fault plan: backoff must be >= 0");
+  }
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.time < 0.0) {
+      return Status::InvalidArgument("fault plan: fault time must be >= 0");
+    }
+    if (f.target < 0 || f.target >= system_->num_targets()) {
+      return Status::InvalidArgument(
+          StrFormat("fault plan: target %d out of range", f.target));
+    }
+    const StorageTarget& t = system_->target(f.target);
+    if (f.member < 0 || f.member >= t.num_members()) {
+      return Status::InvalidArgument(
+          StrFormat("fault plan: member %d out of range for target %s",
+                    f.member, t.name().c_str()));
+    }
+    switch (f.kind) {
+      case FaultKind::kLimp:
+        if (f.latency_scale <= 0.0) {
+          return Status::InvalidArgument(
+              "fault plan: limp scale must be > 0");
+        }
+        break;
+      case FaultKind::kTransient:
+        if (f.error_prob < 0.0 || f.error_prob > 1.0) {
+          return Status::InvalidArgument(
+              "fault plan: transient p must be in [0,1]");
+        }
+        break;
+      case FaultKind::kRebuild:
+        if (t.raid_level() == RaidLevel::kRaid0) {
+          return Status::InvalidArgument(StrFormat(
+              "fault plan: target %s is RAID0 — nothing to rebuild from; "
+              "replan the layout instead",
+              t.name().c_str()));
+        }
+        if (f.rebuild_chunk_bytes <= 0) {
+          return Status::InvalidArgument(
+              "fault plan: rebuild chunk must be > 0");
+        }
+        break;
+      case FaultKind::kFailStop:
+      case FaultKind::kRecover:
+        break;
+    }
+  }
+
+  // Seed every target's transient-error stream from the plan seed. Streams
+  // are per-target (MixSeed) and the event loop is serial, so the whole
+  // error sequence is a pure function of the plan — independent of solver
+  // or calibration thread counts.
+  for (int j = 0; j < system_->num_targets(); ++j) {
+    StorageTarget& t = system_->target(j);
+    t.SeedFaultRng(MixSeed(plan_.seed, static_cast<uint64_t>(j)));
+    t.SetRetryPolicy(plan_.max_retries, plan_.retry_backoff_s);
+  }
+  for (const FaultSpec& f : plan_.faults) {
+    system_->queue().ScheduleAfter(f.time, [this, f]() { Apply(f); });
+  }
+  return Status::Ok();
+}
+
+void FaultInjector::Apply(const FaultSpec& spec) {
+  StorageTarget& t = system_->target(spec.target);
+  ++faults_applied_;
+  switch (spec.kind) {
+    case FaultKind::kFailStop:
+      t.FailMember(spec.member);
+      break;
+    case FaultKind::kLimp: {
+      t.SetMemberLatencyScale(spec.member, spec.latency_scale);
+      if (spec.duration > 0.0) {
+        const int target = spec.target;
+        const int member = spec.member;
+        system_->queue().ScheduleAfter(spec.duration, [this, target,
+                                                       member]() {
+          system_->target(target).SetMemberLatencyScale(member, 1.0);
+        });
+      }
+      break;
+    }
+    case FaultKind::kTransient: {
+      t.SetMemberErrorProbability(spec.member, spec.error_prob);
+      if (spec.duration > 0.0) {
+        const int target = spec.target;
+        const int member = spec.member;
+        system_->queue().ScheduleAfter(spec.duration, [this, target,
+                                                       member]() {
+          system_->target(target).SetMemberErrorProbability(member, 0.0);
+        });
+      }
+      break;
+    }
+    case FaultKind::kRebuild:
+      t.StartRebuild(spec.member, spec.rebuild_chunk_bytes);
+      break;
+    case FaultKind::kRecover:
+      t.RecoverMember(spec.member);
+      break;
+  }
+}
+
+}  // namespace ldb

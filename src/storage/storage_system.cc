@@ -25,29 +25,43 @@ StorageSystem::StorageSystem(const std::vector<TargetSpec>& specs) {
 
 void StorageSystem::Submit(int j, const TargetRequest& req,
                            StorageTarget::Completion done) {
+  if (done) {
+    SubmitWithStatus(j, req,
+           StorageTarget::StatusCompletion(
+               [done = std::move(done)](double complete_time, const Status&) {
+                 done(complete_time);
+               }));
+  } else {
+    SubmitWithStatus(j, req, StorageTarget::StatusCompletion());
+  }
+}
+
+void StorageSystem::SubmitWithStatus(int j, const TargetRequest& req,
+                                     StorageTarget::StatusCompletion done) {
   LDB_CHECK_GE(j, 0);
   LDB_CHECK_LT(j, num_targets());
   const double submit_time = queue_.Now();
   if (observer_) {
     const uint64_t seq = next_seq_++;
-    targets_[static_cast<size_t>(j)]->Submit(
-        req, [this, j, req, submit_time, seq,
-              done = std::move(done)](double complete_time) {
-          IoEvent ev;
-          ev.submit_time = submit_time;
-          ev.seq = seq;
-          ev.complete_time = complete_time;
-          ev.target = j;
-          ev.object = req.object;
-          ev.offset = req.offset;
-          ev.logical_offset = req.logical_offset;
-          ev.size = req.size;
-          ev.is_write = req.is_write;
-          observer_(ev);
-          if (done) done(complete_time);
-        });
+    targets_[static_cast<size_t>(j)]->SubmitWithStatus(
+        req, StorageTarget::StatusCompletion(
+                 [this, j, req, submit_time, seq, done = std::move(done)](
+                     double complete_time, const Status& status) {
+                   IoEvent ev;
+                   ev.submit_time = submit_time;
+                   ev.seq = seq;
+                   ev.complete_time = complete_time;
+                   ev.target = j;
+                   ev.object = req.object;
+                   ev.offset = req.offset;
+                   ev.logical_offset = req.logical_offset;
+                   ev.size = req.size;
+                   ev.is_write = req.is_write;
+                   observer_(ev);
+                   if (done) done(complete_time, status);
+                 }));
   } else {
-    targets_[static_cast<size_t>(j)]->Submit(req, std::move(done));
+    targets_[static_cast<size_t>(j)]->SubmitWithStatus(req, std::move(done));
   }
 }
 
@@ -62,6 +76,12 @@ double StorageSystem::MeasuredUtilization(int j, double elapsed) const {
   LDB_CHECK_GT(elapsed, 0.0);
   const StorageTarget& t = *targets_[static_cast<size_t>(j)];
   return t.busy_time() / (elapsed * t.num_members());
+}
+
+FaultStats StorageSystem::TotalFaultStats() const {
+  FaultStats total;
+  for (const auto& t : targets_) total += t->fault_stats();
+  return total;
 }
 
 }  // namespace ldb

@@ -51,6 +51,11 @@ class StorageSystem {
   void Submit(int j, const TargetRequest& req,
               StorageTarget::Completion done);
 
+  /// Status-aware submission: `done` also receives the request outcome
+  /// (kIoError after retry exhaustion or an unserviceable RAID group).
+  void SubmitWithStatus(int j, const TargetRequest& req,
+                        StorageTarget::StatusCompletion done);
+
   /// Sets the trace observer (or clears it with nullptr).
   void set_observer(Observer obs) { observer_ = std::move(obs); }
 
@@ -60,6 +65,11 @@ class StorageSystem {
   /// Measured utilization of target j over `elapsed` seconds:
   /// busy device-seconds / (elapsed * members).
   double MeasuredUtilization(int j, double elapsed) const;
+
+  /// Fault counters summed over all targets (degraded_time sums the
+  /// per-target degraded intervals, so overlapping faults count once per
+  /// affected target).
+  FaultStats TotalFaultStats() const;
 
  private:
   EventQueue queue_;

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
   }
   return "UNKNOWN";
 }

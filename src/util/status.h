@@ -18,6 +18,7 @@ enum class StatusCode {
   kNotFound,
   kFailedPrecondition,
   kInternal,
+  kIoError,
 };
 
 /// Returns a human-readable name for a status code.
@@ -56,6 +57,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

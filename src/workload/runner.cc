@@ -361,6 +361,7 @@ Result<RunResult> WorkloadRunner::Run(const OlapSpec* olap,
     }
   }
   result.total_requests = requests_completed;
+  result.faults = system_->TotalFaultStats();
   const double elapsed = std::max(result.elapsed_seconds, 1e-9);
   for (int j = 0; j < system_->num_targets(); ++j) {
     result.utilization.push_back(system_->MeasuredUtilization(j, elapsed));

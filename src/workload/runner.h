@@ -22,6 +22,9 @@ struct RunResult {
                                      ///< measurement window (tpmC analogue)
   uint64_t total_requests = 0;       ///< target-level requests completed
   std::vector<double> utilization;   ///< measured per-target utilization
+  /// Fault-path counters summed over targets (all-zero without a fault
+  /// plan; see FaultInjector).
+  FaultStats faults;
 };
 
 /// Executes workload specs against a StorageSystem through a striped

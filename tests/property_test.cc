@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/incremental.h"
+#include "core/problem.h"
+#include "core/replan.h"
 #include "model/layout.h"
 #include "model/layout_model.h"
 #include "solver/projected_gradient.h"
@@ -18,6 +21,7 @@
 #include "storage/lvm.h"
 #include "trace/analyzer.h"
 #include "util/random.h"
+#include "util/table.h"
 #include "util/units.h"
 
 namespace ldb {
@@ -375,6 +379,233 @@ TEST_P(LayoutRegularityProperty, SetRowRegularAlwaysRegularAndComplete) {
 INSTANTIATE_TEST_SUITE_P(Seeds, LayoutRegularityProperty,
                          ::testing::Values(uint64_t{1}, uint64_t{2},
                                            uint64_t{3}));
+
+// ---------------------------------------- incremental / failure re-layout
+
+const CostModel& PropertyCost() {
+  static const CostModel* model = [] {
+    std::vector<double> sizes{static_cast<double>(8 * kKiB),
+                              static_cast<double>(256 * kKiB)};
+    std::vector<double> runs{1, 64};
+    std::vector<double> chis{0, 2, 8};
+    std::vector<double> reads, writes;
+    for (double s : sizes) {
+      for (double q : runs) {
+        for (double c : chis) {
+          const double v =
+              0.004 * (0.5 + 0.5 * s / (8 * kKiB)) * (1 + c) / std::sqrt(q);
+          reads.push_back(v);
+          writes.push_back(0.8 * v);
+        }
+      }
+    }
+    auto m = CostModel::Create("pc", sizes, runs, chis, reads, writes);
+    LDB_CHECK(m.ok());
+    return new CostModel(std::move(m).value());
+  }();
+  return *model;
+}
+
+// A random but always-feasible problem: every target alone could hold all
+// the data, so failing one target never makes re-layout infeasible on
+// capacity grounds.
+LayoutProblem RandomProblem(Rng& rng, int n, int m) {
+  LayoutProblem p;
+  int64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    p.object_names.push_back(StrFormat("obj%d", i));
+    p.object_sizes.push_back(
+        static_cast<int64_t>(1 + rng.UniformInt(uint64_t{4})) * kGiB);
+    total += p.object_sizes.back();
+    p.object_kinds.push_back(ObjectKind::kTable);
+    WorkloadDesc w;
+    w.read_rate = rng.Uniform(1, 200);
+    w.read_size = 8 * kKiB;
+    if (rng.Bernoulli(0.3)) {
+      w.write_rate = rng.Uniform(1, 50);
+      w.write_size = 8 * kKiB;
+    }
+    w.run_count = rng.Bernoulli(0.5) ? 1.0 : 32.0;
+    w.overlap.assign(static_cast<size_t>(n), 0.0);
+    p.workloads.push_back(std::move(w));
+  }
+  for (int j = 0; j < m; ++j) {
+    p.targets.push_back(AdvisorTarget{StrFormat("t%d", j), 2 * total,
+                                      &PropertyCost(), 1, 64 * kKiB});
+  }
+  return p;
+}
+
+Layout RandomRegularLayout(Rng& rng, int n, int m) {
+  Layout l(n, m);
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> targets;
+    for (int j = 0; j < m; ++j) {
+      if (rng.Bernoulli(0.4)) targets.push_back(j);
+    }
+    if (targets.empty()) {
+      targets.push_back(static_cast<int>(
+          rng.UniformInt(static_cast<uint64_t>(m))));
+    }
+    l.SetRowRegular(i, targets);
+  }
+  return l;
+}
+
+class ReplanProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReplanProperty, InvariantsHoldOverRandomFailures) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(uint64_t{6}));
+    const int m = 2 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+    const LayoutProblem p = RandomProblem(rng, n, m);
+    const Layout current = RandomRegularLayout(rng, n, m);
+
+    TargetHealth health = TargetHealth::Healthy(m);
+    const int victim = static_cast<int>(
+        rng.UniformInt(static_cast<uint64_t>(m)));
+    if (rng.Bernoulli(0.7)) health.MarkFailed(victim);
+    for (int j = 0; j < m; ++j) {
+      if (!health.IsFailed(j) && rng.Bernoulli(0.25)) {
+        health.Derate(j, rng.Uniform(0.3, 0.9));
+      }
+    }
+
+    auto result = ReplanAfterFailure(p, current, health);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const Layout& l = result->layout;
+
+    // Structural invariants.
+    EXPECT_TRUE(l.SatisfiesIntegrity(1e-9));
+    EXPECT_TRUE(l.IsRegular(1e-9));
+    EXPECT_TRUE(l.SatisfiesCapacity(p.object_sizes, p.capacities()));
+
+    // Failed targets end with zero allocation.
+    for (int j = 0; j < m; ++j) {
+      if (!health.IsFailed(j)) continue;
+      for (int i = 0; i < n; ++i) EXPECT_EQ(l.At(i, j), 0.0);
+    }
+
+    // Rows untouched by the failure never move.
+    for (int i = 0; i < n; ++i) {
+      bool movable = false;
+      for (int j = 0; j < m; ++j) {
+        if (current.At(i, j) > 1e-9 &&
+            (health.IsFailed(j) || health.derate[j] < 1.0)) {
+          movable = true;
+        }
+      }
+      if (movable) continue;
+      for (int j = 0; j < m; ++j) EXPECT_EQ(l.At(i, j), current.At(i, j));
+    }
+
+    // Migration accounting matches the layout delta.
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) {
+        const double expected =
+            std::max(0.0, l.At(i, j) - current.At(i, j)) *
+            static_cast<double>(p.object_sizes[i]);
+        EXPECT_NEAR(result->migration.moved_in_bytes[i][j], expected, 1.0);
+        total += expected;
+      }
+    }
+    EXPECT_NEAR(result->migration.total_bytes, total, 1.0);
+
+    if (health.AllHealthy()) {
+      EXPECT_FALSE(result->replanned);
+      EXPECT_EQ(result->migration.total_bytes, 0.0);
+      EXPECT_EQ(result->migration.objects_moved, 0);
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < m; ++j) EXPECT_EQ(l.At(i, j), current.At(i, j));
+      }
+    }
+  }
+}
+
+TEST_P(ReplanProperty, RespectsAllowedTargetConstraints) {
+  Rng rng(GetParam() + 100);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(uint64_t{4}));
+    const int m = 3 + static_cast<int>(rng.UniformInt(uint64_t{2}));
+    LayoutProblem p = RandomProblem(rng, n, m);
+    const Layout current = RandomRegularLayout(rng, n, m);
+    // Allow each object its current targets plus one random extra, so the
+    // constraints are satisfiable before and (usually) after failure.
+    p.constraints.allowed_targets.assign(static_cast<size_t>(n), {});
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> allowed = current.TargetsOf(i);
+      const int extra = static_cast<int>(
+          rng.UniformInt(static_cast<uint64_t>(m)));
+      if (std::find(allowed.begin(), allowed.end(), extra) == allowed.end()) {
+        allowed.push_back(extra);
+      }
+      std::sort(allowed.begin(), allowed.end());
+      p.constraints.allowed_targets[static_cast<size_t>(i)] = allowed;
+    }
+
+    TargetHealth health = TargetHealth::Healthy(m);
+    health.MarkFailed(static_cast<int>(
+        rng.UniformInt(static_cast<uint64_t>(m))));
+
+    auto result = ReplanAfterFailure(p, current, health);
+    if (!result.ok()) {
+      // Legitimate when some object's allowed set has no survivor.
+      EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+      continue;
+    }
+    EXPECT_TRUE(p.constraints.SatisfiedBy(result->layout));
+    for (int i = 0; i < n; ++i) {
+      for (int j : result->layout.TargetsOf(i)) {
+        EXPECT_FALSE(health.IsFailed(j));
+      }
+    }
+  }
+}
+
+class IncrementalProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalProperty, FrozenRowsNeverMoveAndNewRowsArePlaced) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(uint64_t{6}));
+    const int m = 2 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+    const LayoutProblem p = RandomProblem(rng, n, m);
+    Layout current = RandomRegularLayout(rng, n, m);
+    // Blank a random non-empty subset of rows: these are the "new" objects.
+    std::vector<bool> is_new(static_cast<size_t>(n), false);
+    for (int i = 0; i < n; ++i) is_new[i] = rng.Bernoulli(0.4);
+    is_new[static_cast<size_t>(rng.UniformInt(static_cast<uint64_t>(n)))] =
+        true;
+    for (int i = 0; i < n; ++i) {
+      if (!is_new[i]) continue;
+      for (int j = 0; j < m; ++j) current.Set(i, j, 0.0);
+    }
+
+    auto result = PlaceIncrementally(p, current);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->SatisfiesIntegrity(1e-9));
+    EXPECT_TRUE(result->IsRegular(1e-9));
+    EXPECT_TRUE(result->SatisfiesCapacity(p.object_sizes, p.capacities()));
+    for (int i = 0; i < n; ++i) {
+      if (is_new[i]) {
+        EXPECT_FALSE(result->TargetsOf(i).empty());
+      } else {
+        for (int j = 0; j < m; ++j) {
+          EXPECT_EQ(result->At(i, j), current.At(i, j));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplanProperty,
+                         ::testing::Values(uint64_t{11}, uint64_t{12},
+                                           uint64_t{13}));
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalProperty,
+                         ::testing::Values(uint64_t{21}, uint64_t{22},
+                                           uint64_t{23}));
 
 }  // namespace
 }  // namespace ldb

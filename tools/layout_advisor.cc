@@ -8,6 +8,16 @@
 //   layout_advisor <problem-file> [--no-regularize] [--seeds=<n>]
 //                  [--compare-see] [--threads=<n>]
 //                  [--calibration-cache=<dir>]
+//                  [--faults=<spec>] [--replan]
+//
+// --faults=<spec> parses a deterministic fault plan (see
+// src/storage/fault.h for the grammar, e.g.
+// "t=1,target=0,member=0,kind=fail") and reports the surviving health of
+// every target. With --replan, the advisor additionally runs
+// failure-aware re-layout: the recommended layout is replanned around the
+// failed/derated targets and the migration plan (bytes to move) is
+// printed. --replan without --faults replans against all-healthy targets
+// and must be a no-op (printed as such).
 //
 // --threads=<n> sets the solver's evaluation-engine parallelism and the
 // device-calibration parallelism (0 = one thread per hardware core). The
@@ -28,6 +38,8 @@
 #include "core/advisor.h"
 #include "core/baselines.h"
 #include "core/problem_io.h"
+#include "core/replan.h"
+#include "storage/fault.h"
 
 int main(int argc, char** argv) {
   using namespace ldb;
@@ -42,6 +54,8 @@ int main(int argc, char** argv) {
   AdvisorOptions options;
   ProblemIoOptions io_options;
   bool compare_see = false;
+  bool replan = false;
+  std::string faults_spec;
   std::string path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--no-regularize") == 0) {
@@ -55,6 +69,10 @@ int main(int argc, char** argv) {
       io_options.calibration.num_threads = options.solver.num_threads;
     } else if (std::strncmp(argv[a], "--calibration-cache=", 20) == 0) {
       io_options.calibration.cache_dir = argv[a] + 20;
+    } else if (std::strncmp(argv[a], "--faults=", 9) == 0) {
+      faults_spec = argv[a] + 9;
+    } else if (std::strcmp(argv[a], "--replan") == 0) {
+      replan = true;
     } else if (argv[a][0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", argv[a]);
       return 2;
@@ -94,6 +112,60 @@ int main(int argc, char** argv) {
         "%.1f%%)\n",
         100 * model.MaxUtilization(loaded->problem.workloads, see),
         100 * result->max_utilization_final);
+  }
+
+  if (!faults_spec.empty() || replan) {
+    TargetHealth health =
+        TargetHealth::Healthy(loaded->problem.num_targets());
+    FaultPlan plan;
+    if (!faults_spec.empty()) {
+      auto parsed = ParseFaultPlan(faults_spec);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "--faults: %s\n",
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      plan = *parsed;
+      health = HealthFromFaultPlan(plan, loaded->problem.targets);
+      std::printf("Fault plan: %s\n", FaultPlanToString(plan).c_str());
+      for (int j = 0; j < loaded->problem.num_targets(); ++j) {
+        if (health.IsFailed(j)) {
+          std::printf("  target %-12s FAILED\n",
+                      loaded->problem.targets[j].name.c_str());
+        } else if (health.derate[j] < 1.0) {
+          std::printf("  target %-12s derated to %.0f%% of healthy\n",
+                      loaded->problem.targets[j].name.c_str(),
+                      100 * health.derate[j]);
+        }
+      }
+    }
+    if (replan) {
+      ReplanOptions ropts;
+      ropts.solver = options.solver;
+      auto replanned = ReplanAfterFailure(loaded->problem,
+                                          result->final_layout, health,
+                                          ropts);
+      if (!replanned.ok()) {
+        std::fprintf(stderr, "replan: %s\n",
+                     replanned.status().ToString().c_str());
+        return 1;
+      }
+      if (!replanned->replanned) {
+        std::printf(
+            "Replan: all targets healthy; layout unchanged, 0 bytes to "
+            "move\n");
+      } else {
+        std::printf(
+            "Replan: %d object(s) move, %.1f MB migration; estimated max "
+            "effective utilization %.1f%% (was %.1f%%)\n",
+            replanned->migration.objects_moved,
+            replanned->migration.total_bytes / (1024.0 * 1024.0),
+            100 * replanned->max_utilization,
+            replanned->previous_max_utilization > 1e11
+                ? 999.9
+                : 100 * replanned->previous_max_utilization);
+      }
+    }
   }
   return 0;
 }
