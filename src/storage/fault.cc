@@ -238,6 +238,20 @@ Status FaultInjector::Arm() {
 
 void FaultInjector::Apply(const FaultSpec& spec) {
   StorageTarget& t = system_->target(spec.target);
+  if (spec.kind == FaultKind::kRebuild) {
+    // Whether a rebuild is valid depends on event ordering (the matching
+    // fail-stop must already have fired), which Arm() cannot check from
+    // the static plan. The spec is user input: record the skip and keep
+    // the run alive instead of crashing.
+    const Status s = t.StartRebuild(spec.member, spec.rebuild_chunk_bytes);
+    if (!s.ok()) {
+      skipped_.push_back(
+          StrFormat("t=%g: %s", spec.time, s.message().c_str()));
+      return;
+    }
+    ++faults_applied_;
+    return;
+  }
   ++faults_applied_;
   switch (spec.kind) {
     case FaultKind::kFailStop:
@@ -268,8 +282,7 @@ void FaultInjector::Apply(const FaultSpec& spec) {
       break;
     }
     case FaultKind::kRebuild:
-      t.StartRebuild(spec.member, spec.rebuild_chunk_bytes);
-      break;
+      break;  // handled above
     case FaultKind::kRecover:
       t.RecoverMember(spec.member);
       break;

@@ -88,12 +88,19 @@ class FaultInjector {
   /// FaultStats count the same events from the receiving side).
   uint64_t faults_applied() const { return faults_applied_; }
 
+  /// Faults that were invalid when their event fired — e.g. a rebuild
+  /// with no preceding fail-stop — and were skipped, one message each.
+  /// Arm() validates everything it can statically; these are the
+  /// ordering-dependent leftovers.
+  const std::vector<std::string>& skipped() const { return skipped_; }
+
  private:
   void Apply(const FaultSpec& spec);
 
   StorageSystem* system_;
   FaultPlan plan_;
   uint64_t faults_applied_ = 0;
+  std::vector<std::string> skipped_;
 };
 
 }  // namespace ldb

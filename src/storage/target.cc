@@ -337,6 +337,9 @@ void StorageTarget::MaybeDispatch(size_t m) {
             MaybeDispatch(m);
           } else {
             ReRouteOrphan(m, retry);  // member died during the backoff
+            // The re-route queues the sub on surviving members; kick them
+            // (as FailMember does) or an idle receiver never services it.
+            for (size_t j = 0; j < members_.size(); ++j) MaybeDispatch(j);
           }
         });
         MaybeDispatch(m);
@@ -475,20 +478,32 @@ void StorageTarget::SetMemberErrorProbability(int m, double p) {
   UpdateDegradedClock();
 }
 
-void StorageTarget::StartRebuild(int m, int64_t chunk_bytes) {
+Status StorageTarget::StartRebuild(int m, int64_t chunk_bytes) {
   LDB_CHECK_GE(m, 0);
   LDB_CHECK_LT(m, num_members());
   LDB_CHECK_GT(chunk_bytes, 0);
   const size_t um = static_cast<size_t>(m);
-  LDB_CHECK_MSG(member_health_[um] == MemberHealth::kDead,
-                "rebuild target %s member %d is not dead", name_.c_str(), m);
-  LDB_CHECK_MSG(raid_level_ != RaidLevel::kRaid0,
-                "RAID0 has no redundancy to rebuild from");
+  // These preconditions depend on event ordering (a rebuild is only valid
+  // after the matching fail-stop), which a user-supplied fault plan can
+  // get wrong — report the error rather than crashing.
+  if (raid_level_ == RaidLevel::kRaid0) {
+    return Status::FailedPrecondition(StrFormat(
+        "target %s: RAID0 has no redundancy to rebuild from", name_.c_str()));
+  }
+  if (member_health_[um] != MemberHealth::kDead) {
+    return Status::FailedPrecondition(StrFormat(
+        "target %s: rebuild member %d is not dead", name_.c_str(), m));
+  }
   if (raid_level_ == RaidLevel::kRaid5) {
-    LDB_CHECK_MSG(ServingCount() == num_members() - 1,
-                  "RAID5 rebuild needs every other member healthy");
-  } else {
-    LDB_CHECK_MSG(ServingCount() >= 1, "RAID1 rebuild needs a survivor");
+    if (ServingCount() != num_members() - 1) {
+      return Status::FailedPrecondition(
+          StrFormat("target %s: RAID5 rebuild needs every other member "
+                    "healthy",
+                    name_.c_str()));
+    }
+  } else if (ServingCount() < 1) {
+    return Status::FailedPrecondition(StrFormat(
+        "target %s: RAID1 rebuild needs a survivor", name_.c_str()));
   }
   members_[um]->Reset();  // fresh hot spare standing in for the dead device
   member_health_[um] = MemberHealth::kRebuilding;
@@ -496,6 +511,7 @@ void StorageTarget::StartRebuild(int m, int64_t chunk_bytes) {
   rebuild_chunk_[um] = chunk_bytes;
   UpdateDegradedClock();
   ContinueRebuild(m);
+  return Status::Ok();
 }
 
 void StorageTarget::ContinueRebuild(int m) {
@@ -509,6 +525,18 @@ void StorageTarget::ContinueRebuild(int m) {
     UpdateDegradedClock();
     return;
   }
+  // The rebuild source can disappear between chunks (the last RAID1
+  // mirror, or a second RAID5 member, fail-stopping mid-rebuild). With
+  // nothing left to read from, park the member as dead again instead of
+  // issuing a chunk (the RAID1 read pick below would divide by zero).
+  const bool source_lost = raid_level_ == RaidLevel::kRaid5
+                               ? ServingCount() < num_members() - 1
+                               : ServingCount() == 0;
+  if (source_lost) {
+    member_health_[um] = MemberHealth::kDead;
+    UpdateDegradedClock();
+    return;
+  }
   const int64_t pos = rebuild_pos_[um];
   const int64_t chunk = std::min(rebuild_chunk_[um], cap - pos);
   rebuild_pos_[um] += chunk;
@@ -517,8 +545,17 @@ void StorageTarget::ContinueRebuild(int m) {
   // continue when the chunk completes. Closed-loop pacing keeps rebuild
   // traffic from starving foreground I/O beyond what the member queues
   // already model.
-  const int64_t slot =
-      AllocateSlot([this, m](double, const Status&) { ContinueRebuild(m); });
+  const int64_t slot = AllocateSlot([this, m](double, const Status& s) {
+    const size_t mem = static_cast<size_t>(m);
+    if (!s.ok() && member_health_[mem] == MemberHealth::kRebuilding) {
+      // The chunk's source reads failed mid-flight (survivors died while
+      // it was queued): the spare has a hole, the rebuild cannot finish.
+      member_health_[mem] = MemberHealth::kDead;
+      UpdateDegradedClock();
+      return;
+    }
+    ContinueRebuild(m);
+  });
   inflight_[slot].internal = true;
   int subs = 0;
   if (raid_level_ == RaidLevel::kRaid1) {

@@ -172,9 +172,12 @@ class StorageTarget {
   /// Begins rebuilding dead member `m` onto a fresh hot spare, reading
   /// survivors and writing `chunk_bytes` at a time in closed loop until
   /// the member's full capacity is rewritten; the member then returns to
-  /// health. Requires RAID1 (>= 1 healthy member) or RAID5 (all other
-  /// members healthy).
-  void StartRebuild(int m, int64_t chunk_bytes = 4 * kMiB);
+  /// health. Returns FailedPrecondition (without starting) when the
+  /// member is not dead, the group is RAID0, or the rebuild source is
+  /// missing — RAID1 needs >= 1 healthy member, RAID5 all other members
+  /// healthy. If the source is lost mid-rebuild, the member is parked
+  /// dead again and a later StartRebuild may retry.
+  Status StartRebuild(int m, int64_t chunk_bytes = 4 * kMiB);
 
   MemberHealth member_health(int m) const {
     return member_health_[static_cast<size_t>(m)];

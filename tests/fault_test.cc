@@ -204,6 +204,62 @@ TEST(FaultInjectorTest, RebuildRestoresHealthAndCountsBytes) {
   EXPECT_GT(stats.degraded_time, 0.0);
 }
 
+TEST(FaultInjectorTest, SurvivorLossMidRebuildParksTheMember) {
+  // fail m0; rebuild m0; fail m1 — a valid plan whose last survivor dies
+  // mid-rebuild. The rebuild must park m0 as dead again (no source left),
+  // not crash on a zero serving count.
+  for (auto level : {RaidLevel::kRaid1, RaidLevel::kRaid5}) {
+    auto sys = MakeSystem(level == RaidLevel::kRaid1 ? 2 : 4, level);
+    FaultPlan plan;
+    plan.faults.push_back({0.0, 0, 0, FaultKind::kFailStop});
+    plan.faults.push_back({0.1, 0, 0, FaultKind::kRebuild});
+    plan.faults.push_back({0.2, 0, 1, FaultKind::kFailStop});
+    FaultInjector injector(sys.get(), plan);
+    ASSERT_TRUE(injector.Arm().ok());
+    sys->queue().RunUntilIdle();
+    EXPECT_EQ(injector.faults_applied(), 3u);
+    EXPECT_EQ(sys->target(0).member_health(0), MemberHealth::kDead);
+    EXPECT_EQ(sys->target(0).member_health(1), MemberHealth::kDead);
+    const FaultStats stats = sys->TotalFaultStats();
+    EXPECT_GT(stats.rebuild_bytes, 0);
+    EXPECT_LT(stats.rebuild_bytes, sys->target(0).capacity_bytes());
+  }
+}
+
+TEST(FaultInjectorTest, InvalidAtFireTimeRebuildIsSkippedNotFatal) {
+  // A rebuild with no preceding fail-stop passes Arm() (which cannot see
+  // event ordering) but must be recorded as skipped at fire time, not
+  // crash the process.
+  auto sys = MakeSystem(2, RaidLevel::kRaid1);
+  FaultPlan plan;
+  plan.faults.push_back({1.0, 0, 0, FaultKind::kRebuild});
+  FaultInjector injector(sys.get(), plan);
+  ASSERT_TRUE(injector.Arm().ok());
+  sys->queue().RunUntilIdle();
+  EXPECT_EQ(injector.faults_applied(), 0u);
+  ASSERT_EQ(injector.skipped().size(), 1u);
+  EXPECT_NE(injector.skipped()[0].find("not dead"), std::string::npos);
+  EXPECT_EQ(sys->target(0).member_health(0), MemberHealth::kHealthy);
+  EXPECT_EQ(sys->TotalFaultStats().rebuild_bytes, 0);
+}
+
+TEST(FaultInjectorTest, DirectStartRebuildReportsPreconditions) {
+  auto raid0 = MakeSystem(2, RaidLevel::kRaid0);
+  EXPECT_EQ(raid0->target(0).StartRebuild(0).code(),
+            StatusCode::kFailedPrecondition);
+  auto raid1 = MakeSystem(2, RaidLevel::kRaid1);
+  EXPECT_EQ(raid1->target(0).StartRebuild(0).code(),
+            StatusCode::kFailedPrecondition);  // member 0 is not dead
+  raid1->target(0).FailMember(0);
+  raid1->target(0).FailMember(1);
+  EXPECT_EQ(raid1->target(0).StartRebuild(0).code(),
+            StatusCode::kFailedPrecondition);  // no survivor to read from
+  raid1->target(0).RecoverMember(1);
+  EXPECT_TRUE(raid1->target(0).StartRebuild(0).ok());
+  raid1->queue().RunUntilIdle();
+  EXPECT_EQ(raid1->target(0).member_health(0), MemberHealth::kHealthy);
+}
+
 // --------------------------------------------------------- determinism
 
 struct RunSignature {
