@@ -111,6 +111,9 @@ int main(int argc, char** argv) {
         run->elapsed_seconds,
         static_cast<unsigned long long>(run->faults.failed_requests),
         run->faults.degraded_time);
+    for (const std::string& s : run->skipped_faults) {
+      std::printf("  skipped fault: %s\n", s.c_str());
+    }
     json.BeginRow();
     json.Field("scenario", "midrun_disk_loss");
     json.Field("config", "no_reaction");
@@ -120,6 +123,8 @@ int main(int argc, char** argv) {
     json.Field("failed_requests",
                static_cast<int64_t>(run->faults.failed_requests));
     json.Field("degraded_s", run->faults.degraded_time);
+    json.Field("skipped_faults",
+               static_cast<int64_t>(run->skipped_faults.size()));
   }
 
   // ---- 3. Transient error window, masked by bounded retries. ----
@@ -135,6 +140,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(run->faults.transient_errors),
         static_cast<unsigned long long>(run->faults.retries),
         static_cast<unsigned long long>(run->faults.failed_requests));
+    for (const std::string& s : run->skipped_faults) {
+      std::printf("  skipped fault: %s\n", s.c_str());
+    }
     json.BeginRow();
     json.Field("scenario", "transient");
     json.Field("config", "retries");
@@ -144,6 +152,8 @@ int main(int argc, char** argv) {
     json.Field("retries", static_cast<int64_t>(run->faults.retries));
     json.Field("failed_requests",
                static_cast<int64_t>(run->faults.failed_requests));
+    json.Field("skipped_faults",
+               static_cast<int64_t>(run->skipped_faults.size()));
   }
 
   // ---- 4. Post-failure: naive spill vs failure-aware replan. ----
@@ -230,6 +240,9 @@ int main(int argc, char** argv) {
         rig->ExecuteWithFaults(*candidates[c], &*olap, nullptr,
                                dead_from_start);
     if (!run.ok()) return 1;
+    for (const std::string& s : run->skipped_faults) {
+      std::printf("  %s skipped fault: %s\n", names[c], s.c_str());
+    }
     rows[c].est = est;
     rows[c].measured = MaxUtil(run->utilization);
     table.AddRow({names[c], StrFormat("%.1f%%", 100 * est),

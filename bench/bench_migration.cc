@@ -1,0 +1,322 @@
+// Online migration benchmark: impact-vs-duration of carrying a re-layout
+// out in the background, plus the fault-during-migration differential.
+//
+// Protocol (5-disk TPC-H rig, OLAP8; disk4 starts empty so it can act as
+// a pure migration destination):
+//   1. Empty-plan differential: ExecuteWithMigration with from == to must
+//      reproduce Execute bit for bit — the executor schedules zero copy
+//      events, so the foreground run is untouched (exit 1 on mismatch).
+//   2. Throttle curve: migrate SEE-over-4-disks to the advised 5-disk
+//      layout unthrottled to get the copy volume and floor duration, then
+//      at rates that stretch the migration 2x/6x/18x. Tightening the
+//      throttle must monotonically increase migration duration and must
+//      not increase foreground p99 degradation.
+//   3. Destination loss mid-copy: the pure-destination disk fail-stops
+//      halfway through a throttled migration. The executor must roll
+//      back, every byte must remain readable, and the differential
+//      checker must agree (migration priced by PriceMigration).
+//   4. Replanning around the loss: ReplanAfterFailure moves the advised
+//      layout off the dead disk; migrating to the replanned layout with
+//      the disk dead from t=0 must complete with all data readable.
+//
+// --json emits machine-readable rows for all four stages.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/migrate.h"
+#include "core/replan.h"
+#include "storage/fault.h"
+#include "util/table.h"
+
+using namespace ldb;
+using namespace ldb::bench;
+
+namespace {
+
+void PrintSkipped(const MigrationRunReport& r, const char* stage) {
+  for (const std::string& s : r.skipped_faults) {
+    std::printf("  %s skipped fault: %s\n", stage, s.c_str());
+  }
+}
+
+double MigrationSeconds(const MigrationRunReport& r) {
+  if (r.stats.start_time < 0.0 || r.stats.end_time < 0.0) return -1.0;
+  return r.stats.end_time - r.stats.start_time;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchEnv env = ParseBenchEnv(argc, argv);
+  PrintHeader("Migration",
+              "throttled online re-layout: impact vs duration, fault "
+              "tolerance",
+              env);
+
+  auto rig = MakeRig(env, Catalog::TpcH(env.scale),
+                     {{"disk0"}, {"disk1"}, {"disk2"}, {"disk3"}, {"disk4"}});
+  if (!rig.ok()) {
+    std::fprintf(stderr, "rig: %s\n", rig.status().ToString().c_str());
+    return 1;
+  }
+  auto olap = MakeOlapSpec(rig->catalog(), 3, 8, env.seed);
+  if (!olap.ok()) return 1;
+
+  const int m = rig->num_targets();
+  const int n = rig->catalog().num_objects();
+
+  // The layout in effect before the re-layout: everything striped over the
+  // first four disks; disk4 holds nothing (a freshly added device).
+  Layout from(n, m);
+  for (int i = 0; i < n; ++i) from.SetRowRegular(i, {0, 1, 2, 3});
+
+  auto advised = AdviseForWorkload(*rig, &*olap, nullptr);
+  if (!advised.ok()) {
+    std::fprintf(stderr, "advisor: %s\n",
+                 advised.status().ToString().c_str());
+    return 1;
+  }
+  const LayoutProblem& problem = advised->problem;
+  const Layout& to = advised->result.final_layout;
+
+  JsonRows json;
+  bool all_ok = true;
+
+  // ---- 1. Empty-plan migration == plain run, bit for bit. ----
+  auto plain = rig->Execute(from, &*olap, nullptr);
+  if (!plain.ok()) return 1;
+  auto noop = rig->ExecuteWithMigration(from, from, &*olap, nullptr,
+                                        FaultPlan{}, MigrateOptions{});
+  if (!noop.ok()) {
+    std::fprintf(stderr, "noop migration: %s\n",
+                 noop.status().ToString().c_str());
+    return 1;
+  }
+  {
+    const double tol = 1e-9;
+    bool same =
+        std::fabs(plain->elapsed_seconds - noop->run.elapsed_seconds) <=
+            tol &&
+        plain->total_requests == noop->run.total_requests &&
+        noop->stats.chunks_total == 0 &&
+        noop->outcome == MigrationOutcome::kCompleted;
+    for (int j = 0; same && j < m; ++j) {
+      same = std::fabs(plain->utilization[j] -
+                       noop->run.utilization[j]) <= tol;
+    }
+    std::printf(
+        "empty migration plan vs plain run: %s (%.3fs vs %.3fs, %lld "
+        "chunks)\n",
+        same ? "[ok: identical]" : "[MISS: runs diverge]",
+        plain->elapsed_seconds, noop->run.elapsed_seconds,
+        static_cast<long long>(noop->stats.chunks_total));
+    PrintSkipped(*noop, "noop");
+    json.BeginRow();
+    json.Field("stage", "empty_plan_differential");
+    json.Field("identical", same);
+    json.Field("elapsed_s", plain->elapsed_seconds);
+    json.Field("chunks_total",
+               static_cast<int64_t>(noop->stats.chunks_total));
+    all_ok = all_ok && same;
+  }
+  const double base_p99 = noop->fg_p99_s;
+
+  // ---- 2. Throttle curve: migration duration vs foreground impact. ----
+  MigrateOptions unthrottled;
+  unthrottled.max_inflight_chunks = 4;
+  auto fast = rig->ExecuteWithMigration(from, to, &*olap, nullptr,
+                                        FaultPlan{}, unthrottled);
+  if (!fast.ok()) {
+    std::fprintf(stderr, "migration: %s\n",
+                 fast.status().ToString().c_str());
+    return 1;
+  }
+  PrintSkipped(*fast, "unthrottled");
+  if (fast->outcome != MigrationOutcome::kCompleted ||
+      !fast->readable.ok()) {
+    std::fprintf(stderr, "unthrottled migration did not complete cleanly: "
+                         "%s / %s\n",
+                 MigrationOutcomeName(fast->outcome),
+                 fast->readable.ToString().c_str());
+    return 1;
+  }
+  const double floor_s = MigrationSeconds(*fast);
+  const double copied_bytes = static_cast<double>(fast->stats.bytes_written);
+  std::printf(
+      "unthrottled: %.1f MB copied in %.3fs (%lld chunks, %lld recopied), "
+      "fg p99 %.2f ms (baseline %.2f ms)\n",
+      copied_bytes / (1024.0 * 1024.0), floor_s,
+      static_cast<long long>(fast->stats.chunks_total),
+      static_cast<long long>(fast->stats.chunks_recopied),
+      1e3 * fast->fg_p99_s, 1e3 * base_p99);
+
+  TextTable table({"throttle MB/s", "migration s", "fg p99 ms",
+                   "p99 vs baseline", "deferrals"});
+  std::vector<double> durations{floor_s};
+  std::vector<double> p99s{fast->fg_p99_s};
+  table.AddRow({"unlimited", StrFormat("%.3f", floor_s),
+                StrFormat("%.2f", 1e3 * fast->fg_p99_s),
+                StrFormat("%.2fx", fast->fg_p99_s / base_p99),
+                StrFormat("%llu", static_cast<unsigned long long>(
+                                      fast->stats.backpressure_deferrals))});
+  json.BeginRow();
+  json.Field("stage", "throttle_curve");
+  json.Field("rate_mb_s", 0.0);
+  json.Field("migration_s", floor_s);
+  json.Field("fg_p99_ms", 1e3 * fast->fg_p99_s);
+  json.Field("degradation", fast->fg_p99_s / base_p99);
+
+  for (const double stretch : {2.0, 6.0, 18.0}) {
+    MigrateOptions opts;
+    opts.max_inflight_chunks = 4;
+    opts.bandwidth_bytes_per_s = copied_bytes / (stretch * floor_s);
+    opts.max_bg_share = 0.5;
+    auto run = rig->ExecuteWithMigration(from, to, &*olap, nullptr,
+                                         FaultPlan{}, opts);
+    if (!run.ok()) {
+      std::fprintf(stderr, "throttled migration: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    PrintSkipped(*run, "throttled");
+    if (run->outcome != MigrationOutcome::kCompleted ||
+        !run->readable.ok()) {
+      std::fprintf(stderr, "throttled migration did not complete\n");
+      return 1;
+    }
+    durations.push_back(MigrationSeconds(*run));
+    p99s.push_back(run->fg_p99_s);
+    table.AddRow(
+        {StrFormat("%.2f", opts.bandwidth_bytes_per_s / (1024.0 * 1024.0)),
+         StrFormat("%.3f", durations.back()),
+         StrFormat("%.2f", 1e3 * run->fg_p99_s),
+         StrFormat("%.2fx", run->fg_p99_s / base_p99),
+         StrFormat("%llu", static_cast<unsigned long long>(
+                               run->stats.backpressure_deferrals))});
+    json.BeginRow();
+    json.Field("stage", "throttle_curve");
+    json.Field("rate_mb_s", opts.bandwidth_bytes_per_s / (1024.0 * 1024.0));
+    json.Field("migration_s", durations.back());
+    json.Field("fg_p99_ms", 1e3 * run->fg_p99_s);
+    json.Field("degradation", run->fg_p99_s / base_p99);
+  }
+  std::printf("%s", table.ToString().c_str());
+  bool monotonic = true;
+  for (size_t k = 1; k < durations.size(); ++k) {
+    // Tighter throttle: strictly longer migration, no worse p99 (a hair of
+    // simulator noise is tolerated).
+    monotonic = monotonic && durations[k] > durations[k - 1] &&
+                p99s[k] <= p99s[k - 1] * 1.02 + 1e-6;
+  }
+  std::printf("throttle tradeoff monotonic: %s\n\n",
+              monotonic ? "[ok]" : "[MISS]");
+  all_ok = all_ok && monotonic;
+
+  // ---- 3. Destination fail-stop mid-copy -> rollback, all readable. ----
+  // The victim must be a *pure* destination (no foreground data on it yet),
+  // i.e. disk4 — killing a source disk is a different experiment (the data
+  // on it is gone no matter what the executor does). PriceMigration
+  // confirms the migration actually moves bytes onto it.
+  const int victim = m - 1;
+  const MigrationPlan price = PriceMigration(problem, from, to);
+  double victim_in = 0.0;
+  for (int i = 0; i < n; ++i) victim_in += price.moved_in_bytes[i][victim];
+  std::printf("victim disk%d receives %.1f MB of the %.1f MB migration\n",
+              victim, victim_in / (1024.0 * 1024.0),
+              price.total_bytes / (1024.0 * 1024.0));
+  if (victim_in <= 0.0) {
+    std::printf("advised layout puts nothing on disk%d; cannot stage the "
+                "destination-loss experiment [MISS]\n", victim);
+    all_ok = false;
+  } else {
+    MigrateOptions opts;
+    opts.max_inflight_chunks = 4;
+    opts.bandwidth_bytes_per_s = copied_bytes / (3.0 * floor_s);
+    opts.max_bg_share = 0.5;
+    const double t_fail = 1.5 * floor_s;  // mid-copy of a ~3x migration
+    FaultPlan plan;
+    plan.faults.push_back(
+        {t_fail, victim, 0, FaultKind::kFailStop, 2.0, 0.1, 0.0});
+    auto run = rig->ExecuteWithMigration(from, to, &*olap, nullptr, plan,
+                                         opts);
+    if (!run.ok()) {
+      std::fprintf(stderr, "fault migration: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    PrintSkipped(*run, "dest_loss");
+    const bool rolled_back = run->outcome == MigrationOutcome::kRolledBack;
+    const bool readable = run->readable.ok();
+    std::printf(
+        "destination dies at t=%.3fs: outcome %s (%lld/%lld chunks were "
+        "committed), every byte readable: %s %s\n",
+        t_fail, MigrationOutcomeName(run->outcome),
+        static_cast<long long>(run->stats.chunks_committed),
+        static_cast<long long>(run->stats.chunks_total),
+        readable ? "yes" : run->readable.ToString().c_str(),
+        rolled_back && readable ? "[ok]" : "[MISS]");
+    if (!run->failure_reason.empty()) {
+      std::printf("  rollback reason: %s\n", run->failure_reason.c_str());
+    }
+    json.BeginRow();
+    json.Field("stage", "destination_loss");
+    json.Field("fault_t_s", t_fail);
+    json.Field("outcome", MigrationOutcomeName(run->outcome));
+    json.Field("chunks_committed",
+               static_cast<int64_t>(run->stats.chunks_committed));
+    json.Field("chunks_total",
+               static_cast<int64_t>(run->stats.chunks_total));
+    json.Field("all_readable", readable);
+    all_ok = all_ok && rolled_back && readable;
+  }
+
+  // ---- 4. Replan around the dead disk, then migrate to safety. ----
+  {
+    TargetHealth health = TargetHealth::Healthy(m);
+    health.MarkFailed(victim);
+    ReplanOptions ropts;
+    ropts.solver.num_threads = env.num_threads;
+    auto replanned = ReplanAfterFailure(problem, to, health, ropts);
+    if (!replanned.ok()) {
+      std::fprintf(stderr, "replan: %s\n",
+                   replanned.status().ToString().c_str());
+      return 1;
+    }
+    FaultPlan dead_from_start;
+    dead_from_start.faults.push_back(
+        {0.0, victim, 0, FaultKind::kFailStop, 2.0, 0.1, 0.0});
+    MigrateOptions opts;
+    opts.max_inflight_chunks = 4;
+    auto run = rig->ExecuteWithMigration(from, replanned->layout, &*olap,
+                                         nullptr, dead_from_start, opts);
+    if (!run.ok()) {
+      std::fprintf(stderr, "replanned migration: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    PrintSkipped(*run, "replanned");
+    const bool completed = run->outcome == MigrationOutcome::kCompleted;
+    const bool readable = run->readable.ok();
+    std::printf(
+        "migrate to replanned layout with disk%d dead: outcome %s, %d "
+        "object(s) replanned off the dead disk, every byte readable: %s "
+        "%s\n",
+        victim, MigrationOutcomeName(run->outcome),
+        replanned->migration.objects_moved,
+        readable ? "yes" : run->readable.ToString().c_str(),
+        completed && readable ? "[ok]" : "[MISS]");
+    json.BeginRow();
+    json.Field("stage", "replan_after_loss");
+    json.Field("outcome", MigrationOutcomeName(run->outcome));
+    json.Field("objects_replanned", replanned->migration.objects_moved);
+    json.Field("all_readable", readable);
+    all_ok = all_ok && completed && readable;
+  }
+
+  if (env.json) json.WriteTo(env.json_path);
+  return all_ok ? 0 : 1;
+}

@@ -179,10 +179,43 @@ Result<RunResult> ExperimentRig::ExecuteWithFaults(
   LDB_RETURN_IF_ERROR(injector.Arm());
 
   WorkloadRunner runner(system.get(), &*volumes, seed_);
-  if (olap != nullptr && oltp != nullptr) return runner.RunMixed(*olap, *oltp);
-  if (olap != nullptr) return runner.RunOlap(*olap);
-  if (oltp != nullptr) return runner.RunOltp(*oltp, oltp_duration_s);
-  return Status::InvalidArgument("no workload given");
+  Result<RunResult> run = Status::Internal("unreachable");
+  if (olap != nullptr && oltp != nullptr) {
+    run = runner.RunMixed(*olap, *oltp);
+  } else if (olap != nullptr) {
+    run = runner.RunOlap(*olap);
+  } else if (oltp != nullptr) {
+    run = runner.RunOltp(*oltp, oltp_duration_s);
+  } else {
+    return Status::InvalidArgument("no workload given");
+  }
+  if (!run.ok()) return run.status();
+  RunResult result = std::move(run).value();
+  result.skipped_faults = injector.skipped();
+  return result;
+}
+
+Result<MigrationRunReport> ExperimentRig::ExecuteWithMigration(
+    const Layout& from, const Layout& to, const OlapSpec* olap,
+    const OltpSpec* oltp, const FaultPlan& faults,
+    const MigrateOptions& options, double oltp_duration_s) const {
+  if (!from.IsRegular() || !to.IsRegular()) {
+    return Status::FailedPrecondition(
+        "ExecuteWithMigration requires regular layouts");
+  }
+  auto system = MakeSystem();
+  std::vector<std::vector<int>> from_placements;
+  std::vector<std::vector<int>> to_placements;
+  from_placements.reserve(static_cast<size_t>(catalog_.num_objects()));
+  to_placements.reserve(static_cast<size_t>(catalog_.num_objects()));
+  for (int i = 0; i < catalog_.num_objects(); ++i) {
+    from_placements.push_back(from.TargetsOf(i));
+    to_placements.push_back(to.TargetsOf(i));
+  }
+  return RunMigrationSim(system.get(), catalog_.sizes(),
+                         std::move(from_placements), std::move(to_placements),
+                         kLvmStripeBytes, olap, oltp, oltp_duration_s, faults,
+                         options, seed_);
 }
 
 Result<WorkloadSet> ExperimentRig::FitWorkloads(const Layout& trace_layout,

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/migrate.h"
 #include "core/problem.h"
 #include "model/calibration.h"
 #include "storage/fault.h"
@@ -78,6 +79,16 @@ class ExperimentRig {
                                       const OltpSpec* oltp,
                                       const FaultPlan& plan,
                                       double oltp_duration_s = 0.0) const;
+
+  /// Executes the workloads while an online migration carries the layout
+  /// from `from` to `to` in the background (both must be regular). Faults
+  /// compose: the plan is armed on the same system, so a target can die
+  /// mid-copy. With `from == to` the migration is an empty plan and the run
+  /// reproduces Execute bit for bit.
+  Result<MigrationRunReport> ExecuteWithMigration(
+      const Layout& from, const Layout& to, const OlapSpec* olap,
+      const OltpSpec* oltp, const FaultPlan& faults,
+      const MigrateOptions& options, double oltp_duration_s = 0.0) const;
 
   /// The paper's workload-characterization pipeline (Section 5.1): runs
   /// the workloads under `trace_layout` with tracing enabled and fits

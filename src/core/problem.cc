@@ -109,7 +109,8 @@ Result<LayoutProblem> MakeLayoutProblem(const Catalog& catalog,
 }
 
 Result<std::vector<std::vector<int>>> LayoutToPlacements(
-    const LayoutProblem& problem, const Layout& layout) {
+    const LayoutProblem& problem, const Layout& layout,
+    bool check_placement_constraints) {
   if (layout.num_objects() != problem.num_objects() ||
       layout.num_targets() != problem.num_targets()) {
     return Status::InvalidArgument("layout dimensions mismatch problem");
@@ -121,7 +122,8 @@ Result<std::vector<std::vector<int>>> LayoutToPlacements(
   if (!layout.IsValid(problem.object_sizes, problem.capacities())) {
     return Status::Infeasible("layout violates problem constraints");
   }
-  if (!problem.constraints.SatisfiedBy(layout)) {
+  if (check_placement_constraints &&
+      !problem.constraints.SatisfiedBy(layout)) {
     return Status::Infeasible("layout violates placement constraints");
   }
   std::vector<std::vector<int>> placements;

@@ -67,9 +67,14 @@ Result<LayoutProblem> MakeLayoutProblem(const Catalog& catalog,
                                                                    1024);
 
 /// Converts a regular layout to per-object target lists for the volume
-/// manager. Fails if `layout` is not regular or not valid.
+/// manager. Fails if `layout` is not regular or not valid. Administrative
+/// pin/separate constraints are policy, not physics: pass
+/// `check_placement_constraints = false` for a layout describing a
+/// pre-existing on-disk state (e.g. the source of a migration), which may
+/// legitimately violate them.
 Result<std::vector<std::vector<int>>> LayoutToPlacements(
-    const LayoutProblem& problem, const Layout& layout);
+    const LayoutProblem& problem, const Layout& layout,
+    bool check_placement_constraints = true);
 
 }  // namespace ldb
 

@@ -154,9 +154,23 @@ std::vector<double> ColumnUtilizations(const LayoutProblem& problem,
   return mu;
 }
 
-MigrationPlan PriceMigration(const LayoutProblem& problem,
-                             const Layout& from, const Layout& to,
-                             double zero_tolerance) {
+/// Row i of `layout` is regular over exactly `targets` within `tol`: every
+/// listed fraction equals 1/k up to tol (TargetsOf already excluded the
+/// sub-tol rest).
+bool RowIsRegular(const Layout& layout, int i, const std::vector<int>& targets,
+                  double tol) {
+  if (targets.empty()) return false;
+  const double share = 1.0 / static_cast<double>(targets.size());
+  for (int j : targets) {
+    if (std::fabs(layout.At(i, j) - share) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MigrationPlan PriceMigration(const LayoutProblem& problem, const Layout& from,
+                             const Layout& to, double zero_tolerance) {
   MigrationPlan plan;
   const int n = problem.num_objects();
   const int m = problem.num_targets();
@@ -166,23 +180,51 @@ MigrationPlan PriceMigration(const LayoutProblem& problem,
   for (int i = 0; i < n; ++i) {
     const double s =
         static_cast<double>(problem.object_sizes[static_cast<size_t>(i)]);
+    // Regular rows are priced on the exact 1/k fractions their target sets
+    // imply; fraction values within zero_tolerance of 1/k are solver noise,
+    // not movement.
+    const std::vector<int> from_targets = from.TargetsOf(i, zero_tolerance);
+    const std::vector<int> to_targets = to.TargetsOf(i, zero_tolerance);
+    const bool regular =
+        RowIsRegular(from, i, from_targets, zero_tolerance) &&
+        RowIsRegular(to, i, to_targets, zero_tolerance);
     bool moved = false;
-    for (int j = 0; j < m; ++j) {
-      const double delta = to.At(i, j) - from.At(i, j);
-      if (delta > zero_tolerance) {
-        const double bytes = delta * s;
-        plan.moved_in_bytes[static_cast<size_t>(i)][static_cast<size_t>(j)] =
-            bytes;
-        plan.total_bytes += bytes;
+    if (regular) {
+      if (from_targets != to_targets) {
+        moved = true;
+        const double to_fraction =
+            1.0 / static_cast<double>(to_targets.size());
+        const double from_fraction =
+            1.0 / static_cast<double>(from_targets.size());
+        for (int j : to_targets) {
+          const bool was_on =
+              std::find(from_targets.begin(), from_targets.end(), j) !=
+              from_targets.end();
+          const double delta = to_fraction - (was_on ? from_fraction : 0.0);
+          if (delta > 0.0) {
+            const double bytes = delta * s;
+            plan.moved_in_bytes[static_cast<size_t>(i)]
+                               [static_cast<size_t>(j)] = bytes;
+            plan.total_bytes += bytes;
+          }
+        }
       }
-      if (std::fabs(delta) > zero_tolerance) moved = true;
+    } else {
+      for (int j = 0; j < m; ++j) {
+        const double delta = to.At(i, j) - from.At(i, j);
+        if (delta > zero_tolerance) {
+          const double bytes = delta * s;
+          plan.moved_in_bytes[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+              bytes;
+          plan.total_bytes += bytes;
+        }
+        if (std::fabs(delta) > zero_tolerance) moved = true;
+      }
     }
     if (moved) ++plan.objects_moved;
   }
   return plan;
 }
-
-}  // namespace
 
 Result<ReplanResult> ReplanAfterFailure(const LayoutProblem& problem,
                                         const Layout& current,

@@ -61,6 +61,18 @@ struct MigrationPlan {
   int objects_moved = 0;  ///< rows whose target set changed
 };
 
+/// Prices the data movement needed to go from layout `from` to layout `to`.
+///
+/// Rows that are regular in both layouts (the advisor's output always is)
+/// are priced on the *exact* 1/k fractions implied by their target sets, so
+/// solver noise below `zero_tolerance` can never produce phantom moves: a
+/// row whose target set is unchanged prices zero bytes. Non-regular rows
+/// fall back to raw fraction deltas with sub-`zero_tolerance` deltas
+/// skipped. Pass the solver's `RegularizerOptions::zero_tolerance` so
+/// pricing and placement agree on what counts as zero.
+MigrationPlan PriceMigration(const LayoutProblem& problem, const Layout& from,
+                             const Layout& to, double zero_tolerance = 1e-4);
+
 struct ReplanOptions {
   /// Candidate generation / derating knobs for the greedy passes. The
   /// target_derate field is overwritten from TargetHealth.

@@ -56,11 +56,20 @@ Status ParseInt(const std::string& value, const std::string& key,
 Result<FaultPlan> ParseFaultPlan(const std::string& text) {
   FaultPlan plan;
   size_t pos = 0;
+  int clause_index = 0;
+  // Value ranges are checked here so a bad spec is rejected with clause
+  // context before it reaches consumers that never Arm() an injector
+  // (HealthFromFaultPlan silently ignores out-of-range entries).
+  const auto clause_error = [&clause_index](const std::string& what) {
+    return Status::InvalidArgument(
+        StrFormat("fault spec clause %d: %s", clause_index, what.c_str()));
+  };
   while (pos <= text.size()) {
     const size_t clause_end = std::min(text.find(';', pos), text.size());
     const std::string clause = text.substr(pos, clause_end - pos);
     pos = clause_end + 1;
     if (clause.empty()) continue;
+    ++clause_index;
 
     FaultSpec spec;
     bool has_fault_key = false;
@@ -72,8 +81,8 @@ Result<FaultPlan> ParseFaultPlan(const std::string& text) {
       if (item.empty()) continue;
       const size_t eq = item.find('=');
       if (eq == std::string::npos) {
-        return Status::InvalidArgument(
-            StrFormat("fault spec: '%s' is not key=value", item.c_str()));
+        return clause_error(
+            StrFormat("'%s' is not key=value", item.c_str()));
       }
       const std::string key = item.substr(0, eq);
       const std::string value = item.substr(eq + 1);
@@ -84,20 +93,25 @@ Result<FaultPlan> ParseFaultPlan(const std::string& text) {
         plan.seed = static_cast<uint64_t>(iv);
       } else if (key == "retries") {
         LDB_RETURN_IF_ERROR(ParseInt(value, key, &iv));
+        if (iv < 0) return clause_error("retries must be >= 0");
         plan.max_retries = static_cast<int>(iv);
       } else if (key == "backoff") {
         LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        if (dv < 0.0) return clause_error("backoff must be >= 0");
         plan.retry_backoff_s = dv;
       } else if (key == "t") {
         LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        if (dv < 0.0) return clause_error("t must be >= 0");
         spec.time = dv;
         has_fault_key = true;
       } else if (key == "target") {
         LDB_RETURN_IF_ERROR(ParseInt(value, key, &iv));
+        if (iv < 0) return clause_error("target must be >= 0");
         spec.target = static_cast<int>(iv);
         has_fault_key = true;
       } else if (key == "member") {
         LDB_RETURN_IF_ERROR(ParseInt(value, key, &iv));
+        if (iv < 0) return clause_error("member must be >= 0");
         spec.member = static_cast<int>(iv);
         has_fault_key = true;
       } else if (key == "kind") {
@@ -112,29 +126,32 @@ Result<FaultPlan> ParseFaultPlan(const std::string& text) {
         } else if (value == "recover") {
           spec.kind = FaultKind::kRecover;
         } else {
-          return Status::InvalidArgument(
-              StrFormat("fault spec: unknown kind '%s'", value.c_str()));
+          return clause_error(
+              StrFormat("unknown kind '%s'", value.c_str()));
         }
         has_fault_key = true;
       } else if (key == "scale") {
         LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        if (dv <= 0.0) return clause_error("scale must be > 0");
         spec.latency_scale = dv;
         has_fault_key = true;
       } else if (key == "p") {
         LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        if (dv < 0.0 || dv > 1.0) return clause_error("p must be in [0,1]");
         spec.error_prob = dv;
         has_fault_key = true;
       } else if (key == "duration") {
         LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        if (dv < 0.0) return clause_error("duration must be >= 0");
         spec.duration = dv;
         has_fault_key = true;
       } else if (key == "chunk") {
         LDB_RETURN_IF_ERROR(ParseInt(value, key, &iv));
+        if (iv <= 0) return clause_error("chunk must be > 0");
         spec.rebuild_chunk_bytes = iv;
         has_fault_key = true;
       } else {
-        return Status::InvalidArgument(
-            StrFormat("fault spec: unknown key '%s'", key.c_str()));
+        return clause_error(StrFormat("unknown key '%s'", key.c_str()));
       }
     }
     if (has_fault_key) plan.faults.push_back(spec);

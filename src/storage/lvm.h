@@ -77,6 +77,45 @@ class StripedVolumeManager {
   std::vector<int64_t> allocated_;
 };
 
+/// Routes logical (object-relative) byte ranges to target chunks. The plain
+/// implementation wraps one StripedVolumeManager; the migration executor
+/// implements it too, routing each range to the old or new location (or
+/// both, for mirrored writes) depending on per-chunk copy progress.
+class VolumeRouter {
+ public:
+  virtual ~VolumeRouter() = default;
+
+  virtual int num_objects() const = 0;
+  virtual int64_t object_size(ObjectId i) const = 0;
+
+  /// Appends the target chunks serving this access to `out` (without
+  /// clearing it). Writes may fan out to more chunks than reads when a
+  /// range is mirrored across two locations.
+  virtual void Route(ObjectId object, int64_t offset, int64_t size,
+                     bool is_write, std::vector<TargetChunk>* out) = 0;
+};
+
+/// VolumeRouter over a single static layout: every access maps through one
+/// volume manager, reads and writes alike.
+class PassthroughRouter final : public VolumeRouter {
+ public:
+  /// `volumes` must outlive the router.
+  explicit PassthroughRouter(const StripedVolumeManager* volumes)
+      : volumes_(volumes) {}
+
+  int num_objects() const override { return volumes_->num_objects(); }
+  int64_t object_size(ObjectId i) const override {
+    return volumes_->object_size(i);
+  }
+  void Route(ObjectId object, int64_t offset, int64_t size, bool /*is_write*/,
+             std::vector<TargetChunk>* out) override {
+    volumes_->Map(object, offset, size, out);
+  }
+
+ private:
+  const StripedVolumeManager* volumes_;
+};
+
 }  // namespace ldb
 
 #endif  // LAYOUTDB_STORAGE_LVM_H_

@@ -78,6 +78,12 @@ double StorageSystem::MeasuredUtilization(int j, double elapsed) const {
   return t.busy_time() / (elapsed * t.num_members());
 }
 
+uint64_t StorageSystem::InflightRequests() const {
+  uint64_t total = 0;
+  for (const auto& t : targets_) total += t->inflight_requests();
+  return total;
+}
+
 FaultStats StorageSystem::TotalFaultStats() const {
   FaultStats total;
   for (const auto& t : targets_) total += t->fault_stats();

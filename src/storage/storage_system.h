@@ -66,6 +66,12 @@ class StorageSystem {
   /// busy device-seconds / (elapsed * members).
   double MeasuredUtilization(int j, double elapsed) const;
 
+  /// Requests submitted but not yet completed, summed over all targets
+  /// (rebuild traffic excluded). Includes migration I/O; the migration
+  /// throttle subtracts its own in-flight count to estimate foreground
+  /// queue depth.
+  uint64_t InflightRequests() const;
+
   /// Fault counters summed over all targets (degraded_time sums the
   /// per-target degraded intervals, so overlapping faults count once per
   /// affected target).

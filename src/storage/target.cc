@@ -228,6 +228,19 @@ void StorageTarget::Submit(const TargetRequest& req, Completion done) {
   }
 }
 
+bool StorageTarget::serviceable() const {
+  const int down = num_members() - ServingCount();
+  switch (raid_level_) {
+    case RaidLevel::kRaid0:
+      return down == 0;  // striping has no redundancy
+    case RaidLevel::kRaid1:
+      return down < num_members();
+    case RaidLevel::kRaid5:
+      return down < 2;
+  }
+  return false;
+}
+
 void StorageTarget::SubmitWithStatus(const TargetRequest& req,
                                      StatusCompletion done) {
   LDB_CHECK_GE(req.offset, 0);
@@ -235,20 +248,8 @@ void StorageTarget::SubmitWithStatus(const TargetRequest& req,
   LDB_CHECK_MSG(req.offset + req.size <= capacity_bytes_,
                 "request beyond target %s capacity", name_.c_str());
   const int64_t slot = AllocateSlot(std::move(done));
-  const int down = num_members() - ServingCount();
-  bool unserviceable = false;
-  switch (raid_level_) {
-    case RaidLevel::kRaid0:
-      unserviceable = down > 0;  // striping has no redundancy
-      break;
-    case RaidLevel::kRaid1:
-      unserviceable = down == num_members();
-      break;
-    case RaidLevel::kRaid5:
-      unserviceable = down >= 2;
-      break;
-  }
-  if (unserviceable) {
+  ++inflight_requests_;
+  if (!serviceable()) {
     FailRequest(slot, "no serviceable member path");
     return;
   }
@@ -282,6 +283,8 @@ void StorageTarget::FinishSub(int64_t parent) {
   if (--fl.pending_subs == 0) {
     if (!fl.internal) {
       ++requests_completed_;
+      LDB_CHECK_GT(inflight_requests_, 0u);
+      --inflight_requests_;
       if (!fl.status.ok()) ++stats_.failed_requests;
     }
     StatusCompletion done = std::move(fl.done);
@@ -619,6 +622,7 @@ void StorageTarget::Reset() {
   next_read_member_ = 0;
   busy_time_ = 0.0;
   requests_completed_ = 0;
+  inflight_requests_ = 0;
   member_health_.assign(members_.size(), MemberHealth::kHealthy);
   member_latency_scale_.assign(members_.size(), 1.0);
   member_error_prob_.assign(members_.size(), 0.0);

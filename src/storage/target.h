@@ -140,6 +140,15 @@ class StorageTarget {
   /// Number of target-level requests completed (rebuild traffic excluded).
   uint64_t requests_completed() const { return requests_completed_; }
 
+  /// Target-level requests submitted but not yet completed (rebuild traffic
+  /// excluded). The migration throttle reads this, summed over the system,
+  /// to estimate foreground queue depth.
+  uint64_t inflight_requests() const { return inflight_requests_; }
+
+  /// True when the group can serve I/O at all given current member health:
+  /// RAID0 needs every member, RAID1 at least one, RAID5 all but one.
+  bool serviceable() const;
+
   // ---- Fault injection (driven by FaultInjector; callable directly). ----
 
   /// Seeds the RNG behind transient-error coin flips. The simulation loop
@@ -277,6 +286,7 @@ class StorageTarget {
 
   double busy_time_ = 0.0;
   uint64_t requests_completed_ = 0;
+  uint64_t inflight_requests_ = 0;
 };
 
 }  // namespace ldb

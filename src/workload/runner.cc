@@ -38,10 +38,21 @@ struct QueryRun {
 WorkloadRunner::WorkloadRunner(StorageSystem* system,
                                const StripedVolumeManager* volumes,
                                uint64_t seed)
-    : system_(system), volumes_(volumes), rng_(seed) {
+    : system_(system),
+      owned_router_(std::make_unique<PassthroughRouter>(volumes)),
+      router_(owned_router_.get()),
+      rng_(seed) {
   LDB_CHECK(system_ != nullptr);
-  LDB_CHECK(volumes_ != nullptr);
-  append_cursor_.assign(static_cast<size_t>(volumes_->num_objects()), 0);
+  LDB_CHECK(volumes != nullptr);
+  append_cursor_.assign(static_cast<size_t>(router_->num_objects()), 0);
+}
+
+WorkloadRunner::WorkloadRunner(StorageSystem* system, VolumeRouter* router,
+                               uint64_t seed)
+    : system_(system), router_(router), rng_(seed) {
+  LDB_CHECK(system_ != nullptr);
+  LDB_CHECK(router_ != nullptr);
+  append_cursor_.assign(static_cast<size_t>(router_->num_objects()), 0);
 }
 
 Result<RunResult> WorkloadRunner::RunOlap(const OlapSpec& olap) {
@@ -79,7 +90,7 @@ Result<RunResult> WorkloadRunner::Run(const OlapSpec* olap,
                       q.name.c_str()));
       }
       for (const StreamSpec& s : step.streams) {
-        if (s.object < 0 || s.object >= volumes_->num_objects()) {
+        if (s.object < 0 || s.object >= router_->num_objects()) {
           return Status::InvalidArgument(
               StrFormat("query %s references unmapped object %d",
                         q.name.c_str(), s.object));
@@ -121,7 +132,7 @@ Result<RunResult> WorkloadRunner::Run(const OlapSpec* olap,
   std::vector<TargetChunk> chunks;  // scratch, reused across submissions
   issue_request = [&](QueryRun* q, size_t si) {
     StreamState& st = q->streams[si];
-    const int64_t osize = volumes_->object_size(st.spec.object);
+    const int64_t osize = router_->object_size(st.spec.object);
     const int64_t req = st.request_bytes;
     int64_t offset = 0;
     switch (st.spec.pattern) {
@@ -149,7 +160,7 @@ Result<RunResult> WorkloadRunner::Run(const OlapSpec* olap,
     ++st.issued;
 
     chunks.clear();
-    volumes_->Map(st.spec.object, offset, req, &chunks);
+    router_->Route(st.spec.object, offset, req, is_write, &chunks);
     auto pending = std::make_shared<int>(static_cast<int>(chunks.size()));
     // Object-level (pre-striping) event, reported when the last chunk of
     // the request completes.
@@ -235,7 +246,7 @@ Result<RunResult> WorkloadRunner::Run(const OlapSpec* olap,
     for (const StreamSpec& spec : step.streams) {
       StreamState st;
       st.spec = spec;
-      const int64_t osize = volumes_->object_size(spec.object);
+      const int64_t osize = router_->object_size(spec.object);
       st.request_bytes = std::min(spec.request_bytes, osize);
       st.total_requests =
           (spec.bytes + st.request_bytes - 1) / st.request_bytes;

@@ -25,6 +25,9 @@ struct RunResult {
   /// Fault-path counters summed over targets (all-zero without a fault
   /// plan; see FaultInjector).
   FaultStats faults;
+  /// Fault specs the injector skipped as invalid at fire time (filled by
+  /// harness-level fault runs; empty without a fault plan).
+  std::vector<std::string> skipped_faults;
 };
 
 /// Executes workload specs against a StorageSystem through a striped
@@ -43,6 +46,12 @@ class WorkloadRunner {
   /// `system` and `volumes` must outlive the runner. `volumes` must map
   /// every object referenced by the workloads.
   WorkloadRunner(StorageSystem* system, const StripedVolumeManager* volumes,
+                 uint64_t seed = 42);
+
+  /// Routes all foreground I/O through `router` instead of a fixed volume
+  /// manager — the migration-aware path. `system` and `router` must
+  /// outlive the runner.
+  WorkloadRunner(StorageSystem* system, VolumeRouter* router,
                  uint64_t seed = 42);
 
   /// Installs a logical-level observer: called once per *object-level*
@@ -72,7 +81,8 @@ class WorkloadRunner {
                         double duration_s);
 
   StorageSystem* system_;
-  const StripedVolumeManager* volumes_;
+  std::unique_ptr<PassthroughRouter> owned_router_;  ///< legacy-ctor shim
+  VolumeRouter* router_;
   Rng rng_;
   StorageSystem::Observer logical_observer_;
   uint64_t next_logical_seq_ = 0;

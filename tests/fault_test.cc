@@ -69,6 +69,35 @@ TEST(FaultPlanTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(ParseFaultPlan("t=1,target=0,kind").ok());
 }
 
+TEST(FaultPlanTest, ErrorsNameTheOffendingClause) {
+  // Second clause is bad; the error must say "clause 2", not just fail.
+  auto r = ParseFaultPlan(
+      "t=1,target=0,kind=fail;t=2,target=0,kind=meteor");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("clause 2"), std::string::npos)
+      << r.status().message();
+
+  auto bad_key = ParseFaultPlan("t=1,target=0,kind=fail;zork=3,kind=fail");
+  ASSERT_FALSE(bad_key.ok());
+  EXPECT_NE(bad_key.status().message().find("clause 2"), std::string::npos)
+      << bad_key.status().message();
+}
+
+TEST(FaultPlanTest, RejectsOutOfRangeFieldValues) {
+  EXPECT_FALSE(ParseFaultPlan("t=-1,target=0,kind=fail").ok());
+  EXPECT_FALSE(ParseFaultPlan("t=1,target=-2,kind=fail").ok());
+  EXPECT_FALSE(ParseFaultPlan("t=1,target=0,member=-1,kind=fail").ok());
+  EXPECT_FALSE(ParseFaultPlan("t=1,target=0,kind=limp,scale=0").ok());
+  EXPECT_FALSE(ParseFaultPlan("t=1,target=0,kind=transient,p=1.5").ok());
+  EXPECT_FALSE(
+      ParseFaultPlan("t=1,target=0,kind=transient,p=0.1,duration=-3").ok());
+  EXPECT_FALSE(ParseFaultPlan("retries=-1;t=1,target=0,kind=fail").ok());
+  EXPECT_FALSE(ParseFaultPlan("backoff=-0.5;t=1,target=0,kind=fail").ok());
+  // The in-range versions of the same clauses parse fine.
+  EXPECT_TRUE(ParseFaultPlan("t=1,target=0,kind=limp,scale=2").ok());
+  EXPECT_TRUE(ParseFaultPlan("t=1,target=0,kind=transient,p=0.5").ok());
+}
+
 // ------------------------------------------------------------ injection
 
 std::unique_ptr<StorageSystem> MakeSystem(int members, RaidLevel level) {

@@ -86,6 +86,31 @@ TEST(ProblemIoTest, RejectsDuplicatesAndBadSizes) {
   EXPECT_FALSE(ParseProblemText(dup).ok());
 }
 
+TEST(ProblemIoTest, DuplicateNamesReportLineAndWhichName) {
+  auto dup_target = ParseProblemText(
+      "device d builtin:ssd\n"
+      "target t0 d capacity 8GiB\n"
+      "target t0 d capacity 8GiB\n");
+  ASSERT_FALSE(dup_target.ok());
+  EXPECT_NE(dup_target.status().message().find("duplicate target"),
+            std::string::npos)
+      << dup_target.status().message();
+  EXPECT_NE(dup_target.status().message().find("line 3"), std::string::npos)
+      << dup_target.status().message();
+
+  auto dup_object = ParseProblemText(
+      "device d builtin:ssd\n"
+      "target t0 d capacity 8GiB\n"
+      "object A table 1GiB\n"
+      "object A table 1GiB\n");
+  ASSERT_FALSE(dup_object.ok());
+  EXPECT_NE(dup_object.status().message().find("duplicate object"),
+            std::string::npos)
+      << dup_object.status().message();
+  EXPECT_NE(dup_object.status().message().find("line 4"), std::string::npos)
+      << dup_object.status().message();
+}
+
 TEST(ProblemIoTest, ValidatesFinalProblem) {
   // Objects exceed total capacity: Validate() must reject.
   const char text[] = R"(

@@ -9,6 +9,7 @@
 //                  [--compare-see] [--threads=<n>]
 //                  [--calibration-cache=<dir>]
 //                  [--faults=<spec>] [--replan]
+//                  [--migrate] [--migrate-throttle=<MB/s>]
 //
 // --faults=<spec> parses a deterministic fault plan (see
 // src/storage/fault.h for the grammar, e.g.
@@ -22,6 +23,16 @@
 // --threads=<n> sets the solver's evaluation-engine parallelism and the
 // device-calibration parallelism (0 = one thread per hardware core). The
 // recommended layout is identical for every thread count.
+//
+// --migrate simulates carrying the recommendation out *online*: the
+// problem's targets are rebuilt as simulated devices, a foreground
+// workload synthesized from the fitted descriptions keeps running, and a
+// chunk-level migration executor copies every moving object from the SEE
+// baseline layout to the recommended one in the background
+// (src/core/migrate.h). --migrate-throttle=<MB/s> rate-limits the copy
+// I/O; composing with --faults injects the fault plan into the same run,
+// so a target can die mid-copy (the executor rolls back or freezes
+// routing, and the report says which).
 //
 // --calibration-cache=<dir> persists calibrated device cost models across
 // invocations (keyed by device parameters + calibration options), so
@@ -37,6 +48,7 @@
 
 #include "core/advisor.h"
 #include "core/baselines.h"
+#include "core/migrate.h"
 #include "core/problem_io.h"
 #include "core/replan.h"
 #include "storage/fault.h"
@@ -47,7 +59,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <problem-file> [--no-regularize] [--seeds=<n>] "
                  "[--compare-see] [--threads=<n>] "
-                 "[--calibration-cache=<dir>]\n",
+                 "[--calibration-cache=<dir>] [--faults=<spec>] [--replan] "
+                 "[--migrate] [--migrate-throttle=<MB/s>]\n",
                  argv[0]);
     return 2;
   }
@@ -55,6 +68,8 @@ int main(int argc, char** argv) {
   ProblemIoOptions io_options;
   bool compare_see = false;
   bool replan = false;
+  bool migrate = false;
+  double migrate_throttle_mbps = 0.0;
   std::string faults_spec;
   std::string path;
   for (int a = 1; a < argc; ++a) {
@@ -73,6 +88,15 @@ int main(int argc, char** argv) {
       faults_spec = argv[a] + 9;
     } else if (std::strcmp(argv[a], "--replan") == 0) {
       replan = true;
+    } else if (std::strcmp(argv[a], "--migrate") == 0) {
+      migrate = true;
+    } else if (std::strncmp(argv[a], "--migrate-throttle=", 19) == 0) {
+      migrate = true;
+      migrate_throttle_mbps = std::atof(argv[a] + 19);
+      if (migrate_throttle_mbps <= 0.0) {
+        std::fprintf(stderr, "--migrate-throttle needs a rate > 0 (MB/s)\n");
+        return 2;
+      }
     } else if (argv[a][0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", argv[a]);
       return 2;
@@ -114,7 +138,7 @@ int main(int argc, char** argv) {
         100 * result->max_utilization_final);
   }
 
-  if (!faults_spec.empty() || replan) {
+  if (!faults_spec.empty() || replan || migrate) {
     TargetHealth health =
         TargetHealth::Healthy(loaded->problem.num_targets());
     FaultPlan plan;
@@ -164,6 +188,49 @@ int main(int argc, char** argv) {
             replanned->previous_max_utilization > 1e11
                 ? 999.9
                 : 100 * replanned->previous_max_utilization);
+      }
+    }
+    if (migrate) {
+      MigrateOptions mopts;
+      if (migrate_throttle_mbps > 0.0) {
+        mopts.bandwidth_bytes_per_s = migrate_throttle_mbps * 1024.0 * 1024.0;
+      }
+      mopts.max_bg_share = 0.5;
+      const Layout see = SeeBaseline(loaded->problem);
+      auto sim = SimulateProblemMigration(loaded->problem, see,
+                                          result->final_layout, plan, mopts);
+      if (!sim.ok()) {
+        std::fprintf(stderr, "--migrate: %s\n",
+                     sim.status().ToString().c_str());
+        return 1;
+      }
+      const double duration =
+          sim->stats.end_time >= 0.0 && sim->stats.start_time >= 0.0
+              ? sim->stats.end_time - sim->stats.start_time
+              : -1.0;
+      std::printf(
+          "Migration (SEE -> recommended): %s in %.2f s simulated; "
+          "%lld/%lld chunks committed (%lld recopied), %.1f MB copied, "
+          "%zu journal records\n",
+          MigrationOutcomeName(sim->outcome), duration,
+          static_cast<long long>(sim->stats.chunks_committed),
+          static_cast<long long>(sim->stats.chunks_total),
+          static_cast<long long>(sim->stats.chunks_recopied),
+          sim->stats.bytes_written / (1024.0 * 1024.0),
+          sim->journal.size());
+      if (sim->failed_target >= 0 || !sim->failure_reason.empty()) {
+        std::printf("  failure: %s\n", sim->failure_reason.c_str());
+      }
+      std::printf(
+          "  foreground during migration: %llu requests, mean %.2f ms, "
+          "p99 %.2f ms\n",
+          static_cast<unsigned long long>(sim->fg_requests),
+          1e3 * sim->fg_mean_s, 1e3 * sim->fg_p99_s);
+      std::printf("  every byte readable at end: %s\n",
+                  sim->readable.ok() ? "yes"
+                                     : sim->readable.ToString().c_str());
+      for (const std::string& s : sim->skipped_faults) {
+        std::printf("  skipped fault: %s\n", s.c_str());
       }
     }
   }
