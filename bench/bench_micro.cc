@@ -16,6 +16,7 @@
 
 #include "model/calibration.h"
 #include "model/target_model.h"
+#include "monitor/online_analyzer.h"
 #include "solver/projected_gradient.h"
 #include "solver/simplex.h"
 #include "storage/disk.h"
@@ -177,6 +178,75 @@ void BM_LvmMap(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LvmMap);
+
+void BM_OnlineAnalyzerObserve(benchmark::State& state) {
+  // The autopilot monitor's I/O hot path: one completion event through the
+  // streaming analyzer (rates, sizes, run detection, overlap rings), with
+  // a dense concurrent stream so the overlap scans do real work. The cost
+  // per event is the monitor's whole per-I/O overhead; the acceptance
+  // budget is <2% of a device I/O (hundreds of microseconds), checked
+  // end-to-end by bench_autopilot's observer_overhead stage.
+  const int n = static_cast<int>(state.range(0));
+  OnlineAnalyzer analyzer(n);
+  Rng rng(7);
+  // ~n active streams at ~1 krps each with overlapping in-flight windows.
+  std::vector<IoEvent> events(8192);
+  double t = 0.0;
+  uint64_t seq = 0;
+  for (IoEvent& ev : events) {
+    t += 1e-3 / n;
+    ev.submit_time = t;
+    ev.complete_time = t + 2e-3;
+    ev.seq = seq++;
+    ev.target = -1;
+    ev.object = static_cast<ObjectId>(rng.Uniform(0, n - 1));
+    ev.logical_offset = rng.Uniform(0, 1024) * 8192;
+    ev.size = 8192;
+    ev.is_write = (ev.seq % 4) == 0;
+  }
+  size_t i = 0;
+  double shift = 0.0;
+  for (auto _ : state) {
+    IoEvent ev = events[i];
+    // Keep simulated time moving forward across passes over the buffer.
+    ev.submit_time += shift;
+    ev.complete_time += shift;
+    analyzer.Observe(ev);
+    if (++i == events.size()) {
+      i = 0;
+      shift += events.back().complete_time;
+    }
+  }
+  benchmark::DoNotOptimize(analyzer.events());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OnlineAnalyzerObserve)->Arg(4)->Arg(40);
+
+void BM_OnlineAnalyzerSnapshot(benchmark::State& state) {
+  // The controller-tick path: fitting the windowed WorkloadSet from the
+  // live counters (runs every check_interval_s, not per I/O).
+  const int n = 40;
+  OnlineAnalyzer analyzer(n);
+  Rng rng(7);
+  double t = 0.0;
+  for (int k = 0; k < 8192; ++k) {
+    IoEvent ev;
+    t += 1e-3 / n;
+    ev.submit_time = t;
+    ev.complete_time = t + 2e-3;
+    ev.seq = static_cast<uint64_t>(k);
+    ev.target = -1;
+    ev.object = static_cast<ObjectId>(rng.Uniform(0, n - 1));
+    ev.logical_offset = rng.Uniform(0, 1024) * 8192;
+    ev.size = 8192;
+    analyzer.Observe(ev);
+  }
+  for (auto _ : state) {
+    WorkloadSet ws = analyzer.Snapshot();
+    benchmark::DoNotOptimize(ws.data());
+  }
+}
+BENCHMARK(BM_OnlineAnalyzerSnapshot);
 
 void BM_CostModelLookup(benchmark::State& state) {
   const CostModel& model = SharedCostModel();

@@ -43,6 +43,12 @@ Result<AdvisorResult> LayoutAdvisor::Recommend(
   // Stage 2: NLP solver (Section 4.1), optionally multi-start.
   t0 = std::chrono::steady_clock::now();
   std::vector<Layout> seeds{result.initial_layout};
+  for (const Layout& warm : options_.warm_seeds) {
+    if (warm.num_objects() == result.initial_layout.num_objects() &&
+        warm.num_targets() == result.initial_layout.num_targets()) {
+      seeds.push_back(warm);
+    }
+  }
   if (options_.extra_random_seeds > 0) {
     Rng rng(options_.seed);
     auto random_seeds = MultiStartSolver::RandomSeeds(

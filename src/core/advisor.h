@@ -26,6 +26,11 @@ struct AdvisorOptions {
   /// (the paper's optional multi-start loop, Figure 4). Our local solver
   /// benefits from a couple of restarts where MINOS used one seed.
   int extra_random_seeds = 2;
+  /// Additional multi-start seeds solved alongside the heuristic and
+  /// random ones — the warm-start channel. A DBA's candidate layouts, or
+  /// the layout currently deployed (the autopilot passes it so a re-advise
+  /// can keep most data where it already lives when that is near-optimal).
+  std::vector<Layout> warm_seeds;
   uint64_t seed = 42;
 };
 

@@ -1,0 +1,466 @@
+#include "core/autopilot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/replan.h"
+#include "model/target_model.h"
+#include "monitor/drift.h"
+#include "monitor/online_analyzer.h"
+#include "storage/disk.h"
+#include "storage/ssd.h"
+#include "util/check.h"
+#include "util/table.h"
+
+namespace ldb {
+
+namespace {
+
+/// All controller state shared by the tick callback chain. Lives on
+/// RunAutopilotSim's stack: the event loop runs to completion inside the
+/// runner before the frame unwinds, exactly like the runner's own driver
+/// state.
+struct Controller {
+  Controller(StorageSystem* system_in, const LayoutProblem* problem_in,
+             const AutopilotOptions* options_in, const Layout& initial)
+      : system(system_in),
+        problem(problem_in),
+        options(options_in),
+        model(problem_in->MakeTargetModel()),
+        analyzer(problem_in->num_objects(), options_in->config.analyzer),
+        detector(problem_in->workloads, options_in->config.drift,
+                 system_in->queue().Now()),
+        current_layout(initial),
+        pending_layout(initial),
+        pending_reference(problem_in->workloads) {}
+
+  StorageSystem* system;
+  const LayoutProblem* problem;
+  const AutopilotOptions* options;
+  TargetModel model;
+  OnlineAnalyzer analyzer;
+  DriftDetector detector;
+
+  /// Deployed-state chain: every adopted layout keeps its volume manager
+  /// (and passthrough router) alive because in-flight and journaled state
+  /// may still reference it.
+  std::vector<std::unique_ptr<StripedVolumeManager>> managers;
+  std::vector<std::unique_ptr<PassthroughRouter>> passthroughs;
+  std::vector<std::unique_ptr<MigrationExecutor>> executors;
+
+  SwitchableRouter* router = nullptr;       ///< foreground splice seam
+  MigrationExecutor* active = nullptr;      ///< copy in flight, or null
+  size_t current_manager = 0;               ///< index into `managers`
+  size_t pending_manager = 0;
+  Layout current_layout;
+  Layout pending_layout;
+  WorkloadSet pending_reference;  ///< live window the pending layout fits
+
+  bool run_active = true;   ///< workload still logically running
+  bool frozen = false;      ///< an abort froze routing; stop acting
+  AutopilotReport* report = nullptr;
+
+  PassthroughRouter* current_passthrough() {
+    return passthroughs[current_manager].get();
+  }
+
+  void AdoptCompleted() {
+    current_layout = pending_layout;
+    current_manager = pending_manager;
+    router->set_delegate(current_passthrough());
+    detector.Rearm(std::move(pending_reference), system->queue().Now());
+    active = nullptr;
+    ++report->migrations_completed;
+  }
+
+  void HandleRollback() {
+    // The old layout is authoritative again; route around the executor and
+    // take a fresh cooldown before trying anything else.
+    router->set_delegate(current_passthrough());
+    detector.Rearm(detector.reference(), system->queue().Now());
+    active = nullptr;
+    ++report->migrations_rolled_back;
+  }
+
+  void HandleAbort() {
+    // Source lost mid-copy: the executor's per-chunk routing is the only
+    // consistent view of where data lives, so it stays in the path and the
+    // autopilot stops acting (failure-aware re-layout is the replan tool's
+    // job, not the drift loop's).
+    frozen = true;
+    active = nullptr;
+    ++report->migrations_aborted;
+  }
+
+  /// A drift trip: re-advise for the live window (warm-started from the
+  /// deployed layout), price the move, and act iff the gate passes.
+  void Decide(WorkloadSet live, double now);
+};
+
+void Controller::Decide(WorkloadSet live, double now) {
+  AutopilotDecision d;
+  d.time = now;
+  d.score = detector.last_score();
+
+  LayoutProblem live_problem = *problem;
+  live_problem.workloads = live;
+  AdvisorOptions adv = options->advisor;
+  adv.warm_seeds.push_back(current_layout);
+  const auto suppress = [&](std::string note, bool count) {
+    d.note = std::move(note);
+    if (count) ++report->migrations_suppressed;
+    // Keep the old reference: the workload drifted but we are not moving,
+    // and the cooldown stops the same trip from re-firing every tick.
+    detector.Rearm(detector.reference(), now);
+    report->decisions.push_back(std::move(d));
+  };
+
+  auto advised = LayoutAdvisor(adv).Recommend(live_problem);
+  if (!advised.ok()) {
+    suppress(StrFormat("re-advise failed: %s",
+                       advised.status().message().c_str()),
+             /*count=*/false);
+    return;
+  }
+  const Layout& candidate = advised.value().final_layout;
+  const std::vector<double> mu_old =
+      model.Utilizations(live, current_layout);
+  d.current_max_util = *std::max_element(mu_old.begin(), mu_old.end());
+  d.advised_max_util = advised.value().max_utilization_final;
+
+  const MigrationPlan plan =
+      PriceMigration(live_problem, current_layout, candidate,
+                     adv.regularizer.zero_tolerance);
+  const double bandwidth = options->migrate.bandwidth_bytes_per_s > 0.0
+                               ? options->migrate.bandwidth_bytes_per_s
+                               : options->config.gate_fallback_bandwidth;
+  d.migration_bytes = plan.total_bytes;
+  d.migration_seconds = plan.total_bytes / bandwidth;
+
+  if (plan.objects_moved == 0) {
+    // The deployed layout is already (near-)optimal for the new workload:
+    // adopt the live window as the reference so drift stops firing.
+    d.note = "re-advise kept the deployed layout";
+    detector.Rearm(std::move(live), now);
+    report->decisions.push_back(std::move(d));
+    return;
+  }
+
+  const double gain = d.current_max_util - d.advised_max_util;
+  d.gate_passed = gain >= options->config.gate_min_gain &&
+                  gain * options->config.gate_horizon_s >= d.migration_seconds;
+  if (!d.gate_passed) {
+    suppress(StrFormat("gate: gain %.4f does not amortize %.1f MiB "
+                       "(%.1f s copy) within %.0f s horizon",
+                       gain, plan.total_bytes / (1024.0 * 1024.0),
+                       d.migration_seconds, options->config.gate_horizon_s),
+             /*count=*/true);
+    return;
+  }
+
+  // Act: build the destination and splice a migration executor in.
+  auto to_placements = LayoutToPlacements(live_problem, candidate);
+  if (!to_placements.ok()) {
+    suppress(StrFormat("destination rejected: %s",
+                       to_placements.status().message().c_str()),
+             /*count=*/true);
+    return;
+  }
+  auto dest = StripedVolumeManager::Create(
+      problem->object_sizes, std::move(to_placements).value(),
+      system->capacities(), problem->lvm_stripe_bytes);
+  if (!dest.ok()) {
+    suppress(StrFormat("destination rejected: %s",
+                       dest.status().message().c_str()),
+             /*count=*/true);
+    return;
+  }
+  managers.push_back(
+      std::make_unique<StripedVolumeManager>(std::move(dest).value()));
+  auto created = MigrationExecutor::Create(
+      system, managers[current_manager].get(), managers.back().get(),
+      options->migrate);
+  if (!created.ok()) {
+    managers.pop_back();
+    suppress(StrFormat("executor rejected: %s",
+                       created.status().message().c_str()),
+             /*count=*/true);
+    return;
+  }
+  passthroughs.push_back(
+      std::make_unique<PassthroughRouter>(managers.back().get()));
+  executors.push_back(std::move(created).value());
+  active = executors.back().get();
+  pending_layout = candidate;
+  pending_manager = managers.size() - 1;
+  pending_reference = std::move(live);
+  router->set_delegate(active);
+  if (options->migrate.start_delay_s > 0.0) {
+    MigrationExecutor* exec = active;
+    system->queue().ScheduleAfter(options->migrate.start_delay_s,
+                                  [exec]() { exec->Start(); });
+  } else {
+    active->Start();
+  }
+  d.started = true;
+  d.note = StrFormat("migration started: %d objects, %.1f MiB",
+                     plan.objects_moved,
+                     plan.total_bytes / (1024.0 * 1024.0));
+  ++report->migrations_started;
+  report->decisions.push_back(std::move(d));
+}
+
+/// The periodic sense→decide→act tick. Self-rescheduling; stops once the
+/// workload logically finishes so the queue can idle (a still-running
+/// migration keeps its own events alive until it terminates).
+void Tick(Controller* c) {
+  if (!c->run_active) return;
+  ++c->report->ticks;
+  const double now = c->system->queue().Now();
+
+  if (c->active != nullptr) {
+    switch (c->active->outcome()) {
+      case MigrationOutcome::kNotStarted:
+      case MigrationOutcome::kRunning:
+        break;  // copy still in flight; sensing continues, deciding waits
+      case MigrationOutcome::kCompleted:
+        c->AdoptCompleted();
+        break;
+      case MigrationOutcome::kRolledBack:
+        c->HandleRollback();
+        break;
+      case MigrationOutcome::kAborted:
+        c->HandleAbort();
+        break;
+    }
+  } else if (!c->frozen) {
+    WorkloadSet live = c->analyzer.Snapshot();
+    if (c->detector.Evaluate(live, now)) {
+      c->Decide(std::move(live), now);
+    }
+  }
+
+  c->system->queue().ScheduleAfter(c->options->config.check_interval_s,
+                                   [c]() { Tick(c); });
+}
+
+}  // namespace
+
+std::string AutopilotReport::Fingerprint() const {
+  std::string out = StrFormat(
+      "elapsed=%.17g;requests=%llu;olap=%llu;oltp=%llu;tpm=%.17g;events=%llu",
+      run.elapsed_seconds, static_cast<unsigned long long>(run.total_requests),
+      static_cast<unsigned long long>(run.olap_queries_completed),
+      static_cast<unsigned long long>(run.oltp_transactions), run.tpm,
+      static_cast<unsigned long long>(monitor_events));
+  out += ";util";
+  for (double u : run.utilization) out += StrFormat("|%.17g", u);
+  for (const AutopilotDecision& d : decisions) {
+    out += StrFormat(";d:t=%.17g,s=%.17g,g=%d,st=%d,b=%.17g", d.time, d.score,
+                     d.gate_passed ? 1 : 0, d.started ? 1 : 0,
+                     d.migration_bytes);
+  }
+  out += ";layout";
+  for (int i = 0; i < final_layout.num_objects(); ++i) {
+    out += '|';
+    for (int t : final_layout.TargetsOf(i)) out += StrFormat("%d,", t);
+  }
+  return out;
+}
+
+Result<AutopilotReport> RunAutopilotSim(
+    StorageSystem* system, const LayoutProblem& problem,
+    const Layout& initial_layout, const OlapSpec* olap, const OltpSpec* oltp,
+    double oltp_duration_s, const FaultPlan& faults,
+    const AutopilotOptions& options, uint64_t seed) {
+  LDB_RETURN_IF_ERROR(problem.Validate());
+  LDB_RETURN_IF_ERROR(options.config.Validate());
+
+  // The initial layout is pre-existing physical state; like a migration
+  // source it need not honor pin/separate policy (that can be exactly what
+  // drift-driven re-layout later fixes).
+  auto placements = LayoutToPlacements(problem, initial_layout,
+                                       /*check_placement_constraints=*/false);
+  if (!placements.ok()) return placements.status();
+  auto volumes = StripedVolumeManager::Create(
+      problem.object_sizes, std::move(placements).value(),
+      system->capacities(), problem.lvm_stripe_bytes);
+  if (!volumes.ok()) return volumes.status();
+
+  AutopilotReport report;
+  report.initial_layout = initial_layout;
+  report.final_layout = initial_layout;
+
+  Controller controller(system, &problem, &options, initial_layout);
+  controller.report = &report;
+  controller.managers.push_back(
+      std::make_unique<StripedVolumeManager>(std::move(volumes).value()));
+  controller.passthroughs.push_back(std::make_unique<PassthroughRouter>(
+      controller.managers.front().get()));
+  SwitchableRouter router(controller.passthroughs.front().get());
+  controller.router = &router;
+
+  // Faults compose exactly as in the plain and migration harness paths.
+  FaultInjector injector(system, faults);
+  LDB_RETURN_IF_ERROR(injector.Arm());
+
+  // First tick one interval in; reschedules itself until the workload
+  // logically finishes. Ticks never submit I/O or touch the runner's RNG,
+  // so with drift disabled the run is bit-identical to a plain Execute.
+  Controller* c = &controller;
+  system->queue().ScheduleAfter(options.config.check_interval_s,
+                                [c]() { Tick(c); });
+
+  WorkloadRunner runner(system, &router, seed);
+  runner.set_on_finished([c]() { c->run_active = false; });
+  std::vector<double> latencies;
+  runner.set_logical_observer([c, &latencies](const IoEvent& ev) {
+    c->analyzer.Observe(ev);
+    latencies.push_back(ev.complete_time - ev.submit_time);
+  });
+
+  Result<RunResult> run = Status::Internal("unreachable");
+  if (olap != nullptr && oltp != nullptr) {
+    run = runner.RunMixed(*olap, *oltp);
+  } else if (olap != nullptr) {
+    run = runner.RunOlap(*olap);
+  } else if (oltp != nullptr) {
+    run = runner.RunOltp(*oltp, oltp_duration_s);
+  } else {
+    return Status::InvalidArgument("no workload given");
+  }
+  if (!run.ok()) return run.status();
+  report.run = std::move(run).value();
+  report.run.skipped_faults = injector.skipped();
+  report.skipped_faults = injector.skipped();
+
+  // A migration still in flight at the last tick drains inside the
+  // runner's event loop; account for its terminal state here.
+  if (controller.active != nullptr) {
+    switch (controller.active->outcome()) {
+      case MigrationOutcome::kCompleted:
+        controller.AdoptCompleted();
+        break;
+      case MigrationOutcome::kRolledBack:
+        controller.HandleRollback();
+        break;
+      case MigrationOutcome::kAborted:
+        controller.HandleAbort();
+        break;
+      case MigrationOutcome::kNotStarted:
+      case MigrationOutcome::kRunning:
+        break;  // unreachable: the pump only idles at a terminal state
+    }
+  }
+
+  report.final_layout = controller.current_layout;
+  report.final_drift_score = controller.detector.last_score();
+  report.monitor_events = controller.analyzer.events();
+  for (const auto& exec : controller.executors) {
+    report.bytes_copied += exec->stats().bytes_written;
+  }
+  report.fg_requests = static_cast<uint64_t>(latencies.size());
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (double l : latencies) sum += l;
+    report.fg_mean_latency_s = sum / static_cast<double>(latencies.size());
+  }
+  return report;
+}
+
+Result<AutopilotReport> SimulateProblemAutopilot(
+    const LayoutProblem& problem, const Layout& current,
+    const FaultPlan& faults, const AutopilotOptions& options,
+    double duration_s, uint64_t seed) {
+  LDB_RETURN_IF_ERROR(problem.Validate());
+  if (duration_s <= 0.0) {
+    return Status::InvalidArgument("autopilot: duration must be positive");
+  }
+
+  // Rebuild simulated devices from the calibrated cost models' device
+  // names, exactly as SimulateProblemMigration does.
+  std::vector<std::unique_ptr<BlockDevice>> prototypes;
+  std::vector<TargetSpec> specs;
+  for (const AdvisorTarget& t : problem.targets) {
+    const std::string model =
+        t.cost_model != nullptr ? t.cost_model->device_model() : "";
+    const int members = std::max(1, t.num_members);
+    int64_t member_capacity = t.capacity_bytes;
+    switch (t.raid_level) {
+      case RaidLevel::kRaid0:
+        member_capacity = t.capacity_bytes / members;
+        break;
+      case RaidLevel::kRaid1:
+        member_capacity = t.capacity_bytes;
+        break;
+      case RaidLevel::kRaid5:
+        member_capacity = t.capacity_bytes / std::max(1, members - 1);
+        break;
+    }
+    std::unique_ptr<BlockDevice> proto;
+    if (model == "disk-15k" || model == "disk-7200") {
+      DiskParams params =
+          model == "disk-15k" ? Scsi15kParams() : Nearline7200Params();
+      params.capacity_bytes = member_capacity;
+      proto = std::make_unique<DiskModel>(params);
+    } else if (model == "ssd") {
+      SsdParams params;
+      params.capacity_bytes = member_capacity;
+      proto = std::make_unique<SsdModel>(params);
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "target %s: cannot rebuild device model '%s' for simulation",
+          t.name.c_str(), model.c_str()));
+    }
+    TargetSpec spec;
+    spec.name = t.name;
+    spec.prototype = proto.get();
+    spec.num_members = members;
+    spec.stripe_bytes = t.stripe_bytes;
+    spec.raid_level = t.raid_level;
+    prototypes.push_back(std::move(proto));
+    specs.push_back(std::move(spec));
+  }
+  StorageSystem system(specs);
+
+  // Synthetic closed-loop foreground from the fitted descriptions (the
+  // SimulateProblemMigration recipe). Note it is random-access: a problem
+  // fitted from sequential scans will legitimately drift against it.
+  OltpSpec fg;
+  fg.name = "autopilot-fg";
+  fg.transaction.name = "synthetic";
+  QueryStep step;
+  step.depth = 8;
+  for (int i = 0; i < problem.num_objects(); ++i) {
+    const WorkloadDesc& w = problem.workloads[static_cast<size_t>(i)];
+    const double rate = w.total_rate();
+    if (rate <= 0.0) continue;
+    StreamSpec s;
+    s.object = i;
+    const double mean = w.mean_size();
+    s.request_bytes = std::max<int64_t>(
+        4 * kKiB, std::min<int64_t>(static_cast<int64_t>(mean),
+                                    problem.object_sizes[static_cast<size_t>(
+                                        i)]));
+    s.bytes = std::max<int64_t>(
+        s.request_bytes, static_cast<int64_t>(rate) * s.request_bytes);
+    s.pattern = AccessPattern::kRandom;
+    s.write_fraction = rate > 0.0 ? w.write_rate / rate : 0.0;
+    step.streams.push_back(s);
+  }
+  if (step.streams.empty()) {
+    return Status::InvalidArgument(
+        "autopilot: every object has zero fitted request rate; "
+        "nothing to run");
+  }
+  fg.transaction.steps.push_back(std::move(step));
+  fg.terminals = 1;
+  fg.txn_overhead_s = 0.0;
+  fg.warmup_s = 0.0;
+
+  return RunAutopilotSim(&system, problem, current, /*olap=*/nullptr, &fg,
+                         duration_s, faults, options, seed);
+}
+
+}  // namespace ldb

@@ -1,0 +1,114 @@
+#ifndef LAYOUTDB_CORE_AUTOPILOT_H_
+#define LAYOUTDB_CORE_AUTOPILOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/migrate.h"
+#include "core/problem.h"
+#include "model/layout.h"
+#include "monitor/autopilot_spec.h"
+#include "storage/fault.h"
+#include "storage/storage_system.h"
+#include "util/status.h"
+#include "workload/runner.h"
+#include "workload/spec.h"
+
+namespace ldb {
+
+/// Everything the closed-loop autopilot needs: the monitor/gate
+/// configuration (sensor), the re-advise knobs (decision), and the
+/// migration executor knobs (actuator).
+struct AutopilotOptions {
+  AutopilotConfig config;
+  /// Throttle/backpressure of migrations the autopilot starts. Its
+  /// bandwidth also prices the cost-benefit gate (the fallback bandwidth
+  /// in `config` applies when unthrottled).
+  MigrateOptions migrate;
+  /// Re-advise configuration. The solver's num_threads is honored with
+  /// bit-identical results across thread counts (solver guarantee), so
+  /// autopilot runs are deterministic for any --threads. The current
+  /// layout is automatically added to `advisor.warm_seeds` on every
+  /// re-advise.
+  AdvisorOptions advisor;
+};
+
+/// One controller decision, recorded at every drift trip.
+struct AutopilotDecision {
+  double time = 0.0;   ///< simulated seconds since run start
+  double score = 0.0;  ///< drift score that tripped
+  double current_max_util = 0.0;  ///< model max-util of the deployed layout
+                                  ///< under the live window
+  double advised_max_util = 0.0;  ///< model max-util of the re-advised one
+  double migration_bytes = 0.0;   ///< priced data movement
+  double migration_seconds = 0.0; ///< copy time under the gate bandwidth
+  bool gate_passed = false;
+  bool started = false;  ///< a migration was actually launched
+  std::string note;      ///< human-readable gate verdict
+};
+
+/// Outcome of one autopilot run: the foreground results plus the full
+/// decision log and actuator counters.
+struct AutopilotReport {
+  RunResult run;
+  std::vector<AutopilotDecision> decisions;  ///< one per drift trip
+  uint64_t ticks = 0;           ///< drift evaluations performed
+  uint64_t monitor_events = 0;  ///< completions the analyzer ingested
+  int migrations_started = 0;
+  int migrations_completed = 0;
+  int migrations_suppressed = 0;  ///< tripped, moved bytes priced, gate said no
+  int migrations_rolled_back = 0;
+  int migrations_aborted = 0;
+  int64_t bytes_copied = 0;  ///< copy writes issued by all migrations
+  uint64_t fg_requests = 0;
+  double fg_mean_latency_s = 0.0;
+  Layout initial_layout;
+  Layout final_layout;  ///< layout in effect when the run ended
+  double final_drift_score = 0.0;
+  std::vector<std::string> skipped_faults;
+
+  AutopilotReport() : initial_layout(1, 1), final_layout(1, 1) {}
+
+  /// Deterministic digest of everything observable: run metrics, the
+  /// decision log, and the final layout. Two runs with equal fingerprints
+  /// behaved identically — the bit-identity tests compare these.
+  std::string Fingerprint() const;
+};
+
+/// Runs workloads on `system` with the full sense→decide→act loop closed:
+/// a streaming analyzer taps the runner's object-level completions, a
+/// drift detector compares the live window against `problem.workloads`
+/// (the set `initial_layout` was advised for), and on a trip the advisor
+/// is re-run — warm-started from the deployed layout — with the resulting
+/// migration executed through MigrationExecutor iff the cost-benefit gate
+/// passes:
+///
+///   (mu_old - mu_new) >= gate_min_gain   and
+///   (mu_old - mu_new) * gate_horizon_s >= total_bytes / bandwidth.
+///
+/// Faults compose exactly as in RunMigrationSim. With drift disabled
+/// (threshold = inf) the run is bit-for-bit identical to a plain Execute
+/// of `initial_layout`.
+Result<AutopilotReport> RunAutopilotSim(
+    StorageSystem* system, const LayoutProblem& problem,
+    const Layout& initial_layout, const OlapSpec* olap, const OltpSpec* oltp,
+    double oltp_duration_s, const FaultPlan& faults,
+    const AutopilotOptions& options, uint64_t seed);
+
+/// CLI-facing autopilot simulation (sibling of SimulateProblemMigration):
+/// rebuilds devices from the problem's calibrated cost-model names,
+/// synthesizes a closed-loop foreground workload from the fitted
+/// descriptions, and runs it under the autopilot with `current` deployed.
+/// Note the synthetic foreground is random-access, so a problem fitted
+/// from sequential scans can legitimately trip drift: the autopilot
+/// re-fits what actually runs.
+Result<AutopilotReport> SimulateProblemAutopilot(
+    const LayoutProblem& problem, const Layout& current,
+    const FaultPlan& faults, const AutopilotOptions& options,
+    double duration_s = 30.0, uint64_t seed = 42);
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_CORE_AUTOPILOT_H_

@@ -218,6 +218,21 @@ Result<MigrationRunReport> ExperimentRig::ExecuteWithMigration(
                          options, seed_);
 }
 
+Result<AutopilotReport> ExperimentRig::ExecuteWithAutopilot(
+    const Layout& layout, WorkloadSet reference, const OlapSpec* olap,
+    const OltpSpec* oltp, const FaultPlan& faults,
+    const AutopilotOptions& options, double oltp_duration_s) const {
+  if (!layout.IsRegular()) {
+    return Status::FailedPrecondition(
+        "ExecuteWithAutopilot requires a regular layout");
+  }
+  auto problem = MakeProblem(std::move(reference));
+  if (!problem.ok()) return problem.status();
+  auto system = MakeSystem();
+  return RunAutopilotSim(system.get(), *problem, layout, olap, oltp,
+                         oltp_duration_s, faults, options, seed_);
+}
+
 Result<WorkloadSet> ExperimentRig::FitWorkloads(const Layout& trace_layout,
                                                 const OlapSpec* olap,
                                                 const OltpSpec* oltp,

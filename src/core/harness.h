@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/autopilot.h"
 #include "core/migrate.h"
 #include "core/problem.h"
 #include "model/calibration.h"
@@ -89,6 +90,17 @@ class ExperimentRig {
       const Layout& from, const Layout& to, const OlapSpec* olap,
       const OltpSpec* oltp, const FaultPlan& faults,
       const MigrateOptions& options, double oltp_duration_s = 0.0) const;
+
+  /// Executes the workloads with the closed-loop layout autopilot engaged:
+  /// `layout` is deployed, `reference` is the workload set it was advised
+  /// for, and the monitor/drift/gate loop re-advises and migrates online
+  /// when the live workload departs from the reference. Faults compose on
+  /// the same system. With drift disabled (threshold = inf) the run is
+  /// bit-identical to Execute(layout, ...).
+  Result<AutopilotReport> ExecuteWithAutopilot(
+      const Layout& layout, WorkloadSet reference, const OlapSpec* olap,
+      const OltpSpec* oltp, const FaultPlan& faults,
+      const AutopilotOptions& options, double oltp_duration_s = 0.0) const;
 
   /// The paper's workload-characterization pipeline (Section 5.1): runs
   /// the workloads under `trace_layout` with tracing enabled and fits

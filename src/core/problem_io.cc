@@ -307,6 +307,22 @@ Result<LoadedProblem> ParseProblemText(const std::string& text,
       } else {
         st.separations.emplace_back(tok[1], tok[2]);
       }
+    } else if (tok[0] == "autopilot") {
+      if (tok.size() < 2) {
+        status = Status::InvalidArgument("autopilot <spec>");
+      } else {
+        // Concatenating tokens tolerates whitespace after ';'/',' while
+        // keeping the spec grammar (and its clause-indexed errors) intact.
+        std::string spec;
+        for (size_t i = 1; i < tok.size(); ++i) spec += tok[i];
+        auto cfg = ParseAutopilotSpec(spec);
+        if (!cfg.ok()) {
+          status = cfg.status();
+        } else {
+          st.out.has_autopilot = true;
+          st.out.autopilot = *cfg;
+        }
+      }
     } else {
       status = Status::InvalidArgument(
           StrFormat("unknown directive '%s'", tok[0].c_str()));

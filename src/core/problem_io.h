@@ -9,6 +9,7 @@
 #include "core/problem.h"
 #include "model/calibration.h"
 #include "model/cost_model.h"
+#include "monitor/autopilot_spec.h"
 
 namespace ldb {
 
@@ -16,6 +17,11 @@ namespace ldb {
 struct LoadedProblem {
   LayoutProblem problem;
   std::vector<std::unique_ptr<CostModel>> owned_models;
+  /// Autopilot configuration from an `autopilot` directive, when present
+  /// (the file-level twin of the CLI's `--autopilot` flag, which takes
+  /// precedence).
+  bool has_autopilot = false;
+  AutopilotConfig autopilot;
 };
 
 /// Knobs for loading problem files.
@@ -41,6 +47,8 @@ struct ProblemIoOptions {
 ///   self_overlap <object> <mean concurrent requests>
 ///   pin <object> <target> [<target> ...]          # allowed targets
 ///   separate <object_a> <object_b>
+///   autopilot <spec>            # ParseAutopilotSpec grammar; whitespace
+///                               # between clauses is tolerated
 ///
 /// `device` calibrates the built-in device model on first use (one
 /// calibration per distinct model per load, served from the calibration

@@ -1,0 +1,202 @@
+#include "monitor/autopilot_spec.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/table.h"
+
+namespace ldb {
+
+namespace {
+
+Status ParseDouble(const std::string& value, const std::string& key,
+                   double* out) {
+  char* end = nullptr;
+  *out = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StrFormat("autopilot spec: bad number '%s' for key '%s'",
+                  value.c_str(), key.c_str()));
+  }
+  return Status::Ok();
+}
+
+Status ParseInt(const std::string& value, const std::string& key,
+                int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StrFormat("autopilot spec: bad integer '%s' for key '%s'",
+                  value.c_str(), key.c_str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status AutopilotConfig::Validate() const {
+  if (!(check_interval_s > 0.0) || !std::isfinite(check_interval_s)) {
+    return Status::InvalidArgument("check interval must be positive");
+  }
+  if (analyzer.half_life_s < 0.0) {
+    return Status::InvalidArgument("analyzer half-life must be >= 0");
+  }
+  if (analyzer.sequential_slack_bytes < 0) {
+    return Status::InvalidArgument("sequential slack must be >= 0");
+  }
+  if (analyzer.max_open_runs < 1) {
+    return Status::InvalidArgument("max open runs must be >= 1");
+  }
+  if (analyzer.ring_capacity < 1) {
+    return Status::InvalidArgument("ring capacity must be >= 1");
+  }
+  if (!(drift.threshold > 0.0)) {  // NaN also fails here
+    return Status::InvalidArgument("drift threshold must be > 0");
+  }
+  if (drift.trip_evaluations < 1) {
+    return Status::InvalidArgument("trip evaluations must be >= 1");
+  }
+  if (!(drift.clear_ratio > 0.0 && drift.clear_ratio <= 1.0)) {
+    return Status::InvalidArgument("clear ratio must be in (0,1]");
+  }
+  if (drift.cooldown_s < 0.0) {
+    return Status::InvalidArgument("cooldown must be >= 0");
+  }
+  if (!(drift.min_rate > 0.0)) {
+    return Status::InvalidArgument("min rate must be > 0");
+  }
+  if (gate_min_gain < 0.0) {
+    return Status::InvalidArgument("gate gain must be >= 0");
+  }
+  if (!(gate_horizon_s > 0.0)) {
+    return Status::InvalidArgument("gate horizon must be > 0");
+  }
+  if (!(gate_fallback_bandwidth > 0.0)) {
+    return Status::InvalidArgument("gate bandwidth must be > 0");
+  }
+  return Status::Ok();
+}
+
+Result<AutopilotConfig> ParseAutopilotSpec(const std::string& text) {
+  AutopilotConfig config;
+  size_t pos = 0;
+  int clause_index = 0;
+  const auto clause_error = [&clause_index](const std::string& what) {
+    return Status::InvalidArgument(
+        StrFormat("autopilot spec clause %d: %s", clause_index,
+                  what.c_str()));
+  };
+  while (pos <= text.size()) {
+    const size_t clause_end = std::min(text.find(';', pos), text.size());
+    const std::string clause = text.substr(pos, clause_end - pos);
+    pos = clause_end + 1;
+    if (clause.empty()) continue;
+    ++clause_index;
+
+    size_t cpos = 0;
+    while (cpos <= clause.size()) {
+      const size_t item_end = std::min(clause.find(',', cpos), clause.size());
+      const std::string item = clause.substr(cpos, item_end - cpos);
+      cpos = item_end + 1;
+      if (item.empty()) continue;
+      const size_t eq = item.find('=');
+      if (eq == std::string::npos) {
+        return clause_error(
+            StrFormat("'%s' is not key=value", item.c_str()));
+      }
+      const std::string key = item.substr(0, eq);
+      const std::string value = item.substr(eq + 1);
+      int64_t iv = 0;
+      double dv = 0.0;
+      if (key == "interval") {
+        LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        if (!(dv > 0.0) || !std::isfinite(dv)) {
+          return clause_error("interval must be > 0");
+        }
+        config.check_interval_s = dv;
+      } else if (key == "window") {
+        LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        if (!(dv > 0.0)) return clause_error("window must be > 0");
+        // An infinite window means no decay (the batch semantics).
+        config.analyzer.half_life_s = std::isfinite(dv) ? dv : 0.0;
+      } else if (key == "slack") {
+        LDB_RETURN_IF_ERROR(ParseInt(value, key, &iv));
+        if (iv < 0) return clause_error("slack must be >= 0");
+        config.analyzer.sequential_slack_bytes = iv;
+      } else if (key == "runs") {
+        LDB_RETURN_IF_ERROR(ParseInt(value, key, &iv));
+        if (iv < 1) return clause_error("runs must be >= 1");
+        config.analyzer.max_open_runs = static_cast<int>(iv);
+      } else if (key == "ring") {
+        LDB_RETURN_IF_ERROR(ParseInt(value, key, &iv));
+        if (iv < 1) return clause_error("ring must be >= 1");
+        config.analyzer.ring_capacity = static_cast<int>(iv);
+      } else if (key == "threshold") {
+        LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        if (!(dv > 0.0)) {
+          return clause_error("threshold must be > 0 (inf disables)");
+        }
+        config.drift.threshold = dv;
+      } else if (key == "trip") {
+        LDB_RETURN_IF_ERROR(ParseInt(value, key, &iv));
+        if (iv < 1) return clause_error("trip must be >= 1");
+        config.drift.trip_evaluations = static_cast<int>(iv);
+      } else if (key == "clear") {
+        LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        if (!(dv > 0.0 && dv <= 1.0)) {
+          return clause_error("clear must be in (0,1]");
+        }
+        config.drift.clear_ratio = dv;
+      } else if (key == "cooldown") {
+        LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        if (dv < 0.0 || !std::isfinite(dv)) {
+          return clause_error("cooldown must be >= 0");
+        }
+        config.drift.cooldown_s = dv;
+      } else if (key == "minrate") {
+        LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        if (!(dv > 0.0)) return clause_error("minrate must be > 0");
+        config.drift.min_rate = dv;
+      } else if (key == "gain") {
+        LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        if (dv < 0.0 || !std::isfinite(dv)) {
+          return clause_error("gain must be >= 0");
+        }
+        config.gate_min_gain = dv;
+      } else if (key == "horizon") {
+        LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        if (!(dv > 0.0) || !std::isfinite(dv)) {
+          return clause_error("horizon must be > 0");
+        }
+        config.gate_horizon_s = dv;
+      } else if (key == "bandwidth") {
+        LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        if (!(dv > 0.0) || !std::isfinite(dv)) {
+          return clause_error("bandwidth must be > 0");
+        }
+        config.gate_fallback_bandwidth = dv;
+      } else {
+        return clause_error(StrFormat("unknown key '%s'", key.c_str()));
+      }
+    }
+  }
+  LDB_RETURN_IF_ERROR(config.Validate());
+  return config;
+}
+
+std::string AutopilotConfigToString(const AutopilotConfig& config) {
+  std::string out = StrFormat(
+      "interval=%g,window=%s,threshold=%g,trip=%d,clear=%g,cooldown=%g",
+      config.check_interval_s,
+      config.analyzer.half_life_s > 0.0
+          ? StrFormat("%g", config.analyzer.half_life_s).c_str()
+          : "inf",
+      config.drift.threshold, config.drift.trip_evaluations,
+      config.drift.clear_ratio, config.drift.cooldown_s);
+  out += StrFormat(";gain=%g,horizon=%g", config.gate_min_gain,
+                   config.gate_horizon_s);
+  return out;
+}
+
+}  // namespace ldb

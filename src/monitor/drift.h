@@ -1,0 +1,79 @@
+#ifndef LAYOUTDB_MONITOR_DRIFT_H_
+#define LAYOUTDB_MONITOR_DRIFT_H_
+
+#include <cstdint>
+
+#include "model/workload.h"
+
+namespace ldb {
+
+/// Knobs of the drift detector.
+struct DriftOptions {
+  /// Drift score above which the detector considers the live window to
+  /// have departed from the reference. Must be > 0; +infinity disables
+  /// tripping entirely (the score is always finite).
+  double threshold = 0.25;
+  /// Consecutive above-threshold evaluations required to trip (a noise
+  /// gate against transient spikes).
+  int trip_evaluations = 2;
+  /// Hysteresis: after a trip, the score must fall below
+  /// threshold * clear_ratio before the detector re-arms, so a workload
+  /// hovering at the threshold cannot oscillate the controller.
+  double clear_ratio = 0.5;
+  /// Minimum time between trips; also applied after Rearm() so a freshly
+  /// advised layout gets a grace period while the window repopulates.
+  double cooldown_s = 30.0;
+  /// Request-rate floor (req/s): objects below it on both sides are
+  /// considered inactive and score zero; it also floors log-ratio
+  /// denominators so idle objects cannot produce infinite drift.
+  double min_rate = 0.5;
+};
+
+/// Scores divergence between a live workload window and the WorkloadSet
+/// the current layout was advised for, and turns the score into edge-
+/// triggered re-layout trips with hysteresis and cooldown.
+///
+/// The score is a demand-weighted mean over objects of per-object drift
+/// components — log-ratio shifts of request rate, mean request size and
+/// sequential run count (a 4x shift saturates at 1), the absolute change
+/// in write fraction, and mean absolute overlap-matrix change — each in
+/// [0,1], combined by max. A score of 0 means the live window looks like
+/// the reference; 1 means every byte of demand changed character.
+class DriftDetector {
+ public:
+  /// `reference` is the workload set the current layout was advised for.
+  /// `now` starts the initial cooldown clock.
+  DriftDetector(WorkloadSet reference, DriftOptions options,
+                double now = 0.0);
+
+  /// Stateless drift score of `live` against the current reference.
+  double Score(const WorkloadSet& live) const;
+
+  /// Scores `live`, advances the hysteresis state machine, and returns
+  /// true exactly when a trip fires (the controller should re-advise).
+  /// After a trip the detector disarms until the score clears and the
+  /// cooldown expires.
+  bool Evaluate(const WorkloadSet& live, double now);
+
+  /// Adopts a new reference (the workload set a new layout was advised
+  /// for) and restarts the cooldown.
+  void Rearm(WorkloadSet reference, double now);
+
+  const WorkloadSet& reference() const { return reference_; }
+  const DriftOptions& options() const { return options_; }
+  double last_score() const { return last_score_; }
+  uint64_t trips() const { return trips_; }
+
+ private:
+  WorkloadSet reference_;
+  DriftOptions options_;
+  double cooldown_until_ = 0.0;
+  bool armed_ = true;
+  int above_ = 0;
+  double last_score_ = 0.0;
+  uint64_t trips_ = 0;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_MONITOR_DRIFT_H_

@@ -116,6 +116,32 @@ class PassthroughRouter final : public VolumeRouter {
   const StripedVolumeManager* volumes_;
 };
 
+/// VolumeRouter indirection whose delegate can be swapped mid-run — the
+/// seam the layout autopilot uses to splice a MigrationExecutor into (and
+/// out of) the foreground I/O path without touching the workload runner.
+/// The delegate must outlive every request routed through it.
+class SwitchableRouter final : public VolumeRouter {
+ public:
+  explicit SwitchableRouter(VolumeRouter* delegate) : delegate_(delegate) {}
+
+  VolumeRouter* delegate() const { return delegate_; }
+  /// Swaps the delegate. The new delegate must describe the same objects
+  /// (ids and sizes); in-flight requests already routed are unaffected.
+  void set_delegate(VolumeRouter* delegate) { delegate_ = delegate; }
+
+  int num_objects() const override { return delegate_->num_objects(); }
+  int64_t object_size(ObjectId i) const override {
+    return delegate_->object_size(i);
+  }
+  void Route(ObjectId object, int64_t offset, int64_t size, bool is_write,
+             std::vector<TargetChunk>* out) override {
+    delegate_->Route(object, offset, size, is_write, out);
+  }
+
+ private:
+  VolumeRouter* delegate_;
+};
+
 }  // namespace ldb
 
 #endif  // LAYOUTDB_STORAGE_LVM_H_

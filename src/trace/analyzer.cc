@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "trace/run_tracker.h"
 #include "util/check.h"
 #include "util/table.h"
 
@@ -56,15 +57,12 @@ Result<WorkloadSet> TraceAnalyzer::Analyze(const IoTrace& trace,
 
   std::vector<ObjectStream> streams(static_cast<size_t>(num_objects));
   // Sequential-run detection state: per object, up to max_open_runs
-  // concurrently-open runs (expected next offset + LRU stamp).
-  struct OpenRun {
-    int64_t next_logical = 0;
-    uint64_t last_use = 0;
-  };
-  std::vector<std::vector<OpenRun>> open_runs(
-      static_cast<size_t>(num_objects));
-  uint64_t run_clock = 0;
-  const int max_runs = std::max(1, options_.max_open_runs);
+  // concurrently-open runs (expected next offset + LRU stamp). Shared with
+  // the online monitor via SequentialRunTracker.
+  std::vector<SequentialRunTracker> trackers(
+      static_cast<size_t>(num_objects),
+      SequentialRunTracker(options_.max_open_runs,
+                           options_.sequential_slack_bytes));
 
   for (const IoEvent* ev : order) {
     ObjectStream& s = streams[static_cast<size_t>(ev->object)];
@@ -79,30 +77,10 @@ Result<WorkloadSet> TraceAnalyzer::Analyze(const IoTrace& trace,
     }
     // Run detection on logical (object-relative) addresses: continue any
     // open run, else open a new one (evicting the least recently used).
-    auto& runs = open_runs[static_cast<size_t>(ev->object)];
-    OpenRun* hit = nullptr;
-    for (OpenRun& r : runs) {
-      if (ev->logical_offset >= r.next_logical &&
-          ev->logical_offset <=
-              r.next_logical + options_.sequential_slack_bytes) {
-        hit = &r;
-        break;
-      }
-    }
-    if (hit == nullptr) {
+    if (trackers[static_cast<size_t>(ev->object)].Observe(
+            ev->logical_offset, ev->size)) {
       ++s.runs;
-      if (static_cast<int>(runs.size()) < max_runs) {
-        runs.push_back(OpenRun{});
-        hit = &runs.back();
-      } else {
-        hit = &*std::min_element(runs.begin(), runs.end(),
-                                 [](const OpenRun& a, const OpenRun& b) {
-                                   return a.last_use < b.last_use;
-                                 });
-      }
     }
-    hit->next_logical = ev->logical_offset + ev->size;
-    hit->last_use = ++run_clock;
 
     // Record the (padded) in-flight interval for overlap computation,
     // merging with the previous interval when they touch.

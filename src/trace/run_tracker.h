@@ -1,0 +1,77 @@
+#ifndef LAYOUTDB_TRACE_RUN_TRACKER_H_
+#define LAYOUTDB_TRACE_RUN_TRACKER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ldb {
+
+/// Sequential-run detection for one object's request stream (the Q_i fit of
+/// the paper's Figure 5, Rubicon-style): up to `max_open_runs` concurrently
+/// open runs are tracked, each remembering the logical offset it expects
+/// next. A request continues the first run whose expectation it matches
+/// (within `slack_bytes` of readahead slack); otherwise it opens a new run,
+/// evicting the least recently used one when the table is full.
+///
+/// Shared by the batch TraceAnalyzer and the online monitor so both fit
+/// identical run statistics from identical streams. Bounded state, no
+/// allocation after construction.
+class SequentialRunTracker {
+ public:
+  SequentialRunTracker(int max_open_runs, int64_t slack_bytes)
+      : max_open_runs_(std::max(1, max_open_runs)), slack_(slack_bytes) {
+    runs_.reserve(static_cast<size_t>(max_open_runs_));
+  }
+
+  /// Feeds one request; returns true when it starts a new sequential run.
+  ///
+  /// Eviction uses a per-tracker LRU clock. A clock shared across objects
+  /// (as the batch analyzer once kept) orders a single object's stamps
+  /// identically, so per-object results are unchanged.
+  bool Observe(int64_t logical_offset, int64_t size) {
+    OpenRun* hit = nullptr;
+    for (OpenRun& r : runs_) {
+      if (logical_offset >= r.next_logical &&
+          logical_offset <= r.next_logical + slack_) {
+        hit = &r;
+        break;
+      }
+    }
+    const bool new_run = hit == nullptr;
+    if (new_run) {
+      if (static_cast<int>(runs_.size()) < max_open_runs_) {
+        runs_.push_back(OpenRun{});
+        hit = &runs_.back();
+      } else {
+        hit = &*std::min_element(runs_.begin(), runs_.end(),
+                                 [](const OpenRun& a, const OpenRun& b) {
+                                   return a.last_use < b.last_use;
+                                 });
+      }
+    }
+    hit->next_logical = logical_offset + size;
+    hit->last_use = ++clock_;
+    return new_run;
+  }
+
+  void Reset() {
+    runs_.clear();
+    clock_ = 0;
+  }
+
+ private:
+  struct OpenRun {
+    int64_t next_logical = 0;
+    uint64_t last_use = 0;
+  };
+
+  int max_open_runs_;
+  int64_t slack_;
+  uint64_t clock_ = 0;
+  std::vector<OpenRun> runs_;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_TRACE_RUN_TRACKER_H_

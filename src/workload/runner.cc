@@ -289,6 +289,7 @@ Result<RunResult> WorkloadRunner::Run(const OlapSpec* olap,
         counting = false;
         measure_end = olap_done_time;
       }
+      if (on_finished_) on_finished_();
     } else {
       olap_start_next();
     }
@@ -347,6 +348,7 @@ Result<RunResult> WorkloadRunner::Run(const OlapSpec* olap,
           counting = false;
           measure_end = system_->Now();
         }
+        if (on_finished_) on_finished_();
       });
     }
   }

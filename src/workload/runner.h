@@ -62,6 +62,15 @@ class WorkloadRunner {
     logical_observer_ = std::move(observer);
   }
 
+  /// Installs a completion hook: called once, at the simulated time the
+  /// workload logically finishes (last OLAP query done, or the OLTP
+  /// duration stop), while in-flight requests may still be draining. This
+  /// is how run-long periodic activities (the autopilot's drift ticks)
+  /// know to stop rescheduling themselves so the event queue can idle.
+  void set_on_finished(std::function<void()> hook) {
+    on_finished_ = std::move(hook);
+  }
+
   /// Runs an OLAP workload to completion.
   Result<RunResult> RunOlap(const OlapSpec& olap);
 
@@ -85,6 +94,7 @@ class WorkloadRunner {
   VolumeRouter* router_;
   Rng rng_;
   StorageSystem::Observer logical_observer_;
+  std::function<void()> on_finished_;
   uint64_t next_logical_seq_ = 0;
   /// Per-object append cursors shared by kAppend streams (logs, temp).
   std::vector<int64_t> append_cursor_;

@@ -191,5 +191,40 @@ TEST(ProblemIoTest, FormatSanitizesSpacesInNames) {
   EXPECT_TRUE(ParseProblemText(text).ok());
 }
 
+TEST(ProblemIoTest, ParsesAutopilotDirective) {
+  std::string text(kSample);
+  text += "autopilot interval=1; threshold=0.4,trip=3, cooldown=10\n";
+  auto loaded = ParseProblemText(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->has_autopilot);
+  EXPECT_DOUBLE_EQ(loaded->autopilot.check_interval_s, 1.0);
+  EXPECT_DOUBLE_EQ(loaded->autopilot.drift.threshold, 0.4);
+  EXPECT_EQ(loaded->autopilot.drift.trip_evaluations, 3);
+  EXPECT_DOUBLE_EQ(loaded->autopilot.drift.cooldown_s, 10.0);
+  // Absent directive leaves the flag unset.
+  auto plain = ParseProblemText(kSample);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->has_autopilot);
+}
+
+TEST(ProblemIoTest, AutopilotDirectiveErrorsAreLineAndClauseIndexed) {
+  auto bad = ParseProblemText(std::string(kSample) +
+                              "autopilot interval=1;threshold=0\n");
+  ASSERT_FALSE(bad.ok());
+  // The outer parser prefixes the line, the spec parser the clause.
+  EXPECT_NE(bad.status().message().find("line 15"), std::string::npos)
+      << bad.status().ToString();
+  EXPECT_NE(bad.status().message().find("clause 2"), std::string::npos)
+      << bad.status().ToString();
+  EXPECT_NE(bad.status().message().find("threshold"), std::string::npos);
+
+  EXPECT_FALSE(ParseProblemText(std::string(kSample) + "autopilot\n").ok());
+  EXPECT_FALSE(
+      ParseProblemText(std::string(kSample) + "autopilot threshold=-1\n")
+          .ok());
+  EXPECT_FALSE(
+      ParseProblemText(std::string(kSample) + "autopilot bogus=1\n").ok());
+}
+
 }  // namespace
 }  // namespace ldb

@@ -10,6 +10,8 @@
 //                  [--calibration-cache=<dir>]
 //                  [--faults=<spec>] [--replan]
 //                  [--migrate] [--migrate-throttle=<MB/s>]
+//                  [--autopilot[=<spec>]] [--drift-threshold=<x>]
+//                  [--autopilot-duration=<s>]
 //
 // --faults=<spec> parses a deterministic fault plan (see
 // src/storage/fault.h for the grammar, e.g.
@@ -34,6 +36,18 @@
 // so a target can die mid-copy (the executor rolls back or freezes
 // routing, and the report says which).
 //
+// --autopilot engages the closed-loop layout autopilot on the simulated
+// rebuild of the problem's targets: the SEE baseline is deployed, a
+// foreground synthesized from the fitted descriptions runs, and the
+// monitor/drift/gate loop re-advises and migrates online (src/core/
+// autopilot.h). The optional <spec> uses the ParseAutopilotSpec grammar
+// ("interval=2;threshold=0.25,trip=2"); it overrides any `autopilot`
+// directive in the problem file. --drift-threshold=<x> (x > 0, `inf`
+// disables tripping) overrides the spec's threshold. Composes with
+// --faults (same system, so a target can die mid-loop) and
+// --migrate-throttle (rate-limits autopilot-started copies and prices the
+// gate). --autopilot-duration=<s> sets the simulated foreground duration.
+//
 // --calibration-cache=<dir> persists calibrated device cost models across
 // invocations (keyed by device parameters + calibration options), so
 // repeated runs skip the Section 5.2.2 measurement entirely.
@@ -46,11 +60,16 @@
 #include <cstring>
 #include <string>
 
+#include <cmath>
+#include <cstdlib>
+
 #include "core/advisor.h"
+#include "core/autopilot.h"
 #include "core/baselines.h"
 #include "core/migrate.h"
 #include "core/problem_io.h"
 #include "core/replan.h"
+#include "monitor/autopilot_spec.h"
 #include "storage/fault.h"
 
 int main(int argc, char** argv) {
@@ -69,7 +88,13 @@ int main(int argc, char** argv) {
   bool compare_see = false;
   bool replan = false;
   bool migrate = false;
+  bool autopilot = false;
+  bool has_autopilot_spec = false;
+  bool has_drift_threshold = false;
   double migrate_throttle_mbps = 0.0;
+  double drift_threshold = 0.0;
+  double autopilot_duration_s = 30.0;
+  std::string autopilot_spec;
   std::string faults_spec;
   std::string path;
   for (int a = 1; a < argc; ++a) {
@@ -95,6 +120,36 @@ int main(int argc, char** argv) {
       migrate_throttle_mbps = std::atof(argv[a] + 19);
       if (migrate_throttle_mbps <= 0.0) {
         std::fprintf(stderr, "--migrate-throttle needs a rate > 0 (MB/s)\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[a], "--autopilot=", 12) == 0) {
+      autopilot = true;
+      has_autopilot_spec = true;
+      autopilot_spec = argv[a] + 12;
+    } else if (std::strcmp(argv[a], "--autopilot") == 0) {
+      autopilot = true;
+    } else if (std::strncmp(argv[a], "--autopilot-duration=", 21) == 0) {
+      autopilot = true;
+      autopilot_duration_s = std::atof(argv[a] + 21);
+      if (!(autopilot_duration_s > 0.0) ||
+          !std::isfinite(autopilot_duration_s)) {
+        std::fprintf(stderr,
+                     "--autopilot-duration needs a finite duration > 0 (s)\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[a], "--drift-threshold=", 18) == 0) {
+      autopilot = true;
+      has_drift_threshold = true;
+      char* end = nullptr;
+      drift_threshold = std::strtod(argv[a] + 18, &end);
+      if (end == argv[a] + 18 || *end != '\0' || std::isnan(drift_threshold) ||
+          drift_threshold <= 0.0) {
+        // Mirrors the spec parser: > 0 required, inf allowed (disables
+        // tripping), nan and garbage rejected.
+        std::fprintf(stderr,
+                     "--drift-threshold: threshold must be > 0 "
+                     "(inf disables tripping), got '%s'\n",
+                     argv[a] + 18);
         return 2;
       }
     } else if (argv[a][0] == '-') {
@@ -138,7 +193,7 @@ int main(int argc, char** argv) {
         100 * result->max_utilization_final);
   }
 
-  if (!faults_spec.empty() || replan || migrate) {
+  if (!faults_spec.empty() || replan || migrate || autopilot) {
     TargetHealth health =
         TargetHealth::Healthy(loaded->problem.num_targets());
     FaultPlan plan;
@@ -230,6 +285,66 @@ int main(int argc, char** argv) {
                   sim->readable.ok() ? "yes"
                                      : sim->readable.ToString().c_str());
       for (const std::string& s : sim->skipped_faults) {
+        std::printf("  skipped fault: %s\n", s.c_str());
+      }
+    }
+    if (autopilot) {
+      AutopilotOptions aopts;
+      if (has_autopilot_spec) {
+        auto cfg = ParseAutopilotSpec(autopilot_spec);
+        if (!cfg.ok()) {
+          std::fprintf(stderr, "--autopilot: %s\n",
+                       cfg.status().ToString().c_str());
+          return 2;
+        }
+        aopts.config = *cfg;
+      } else if (loaded->has_autopilot) {
+        aopts.config = loaded->autopilot;
+      }
+      if (has_drift_threshold) {
+        aopts.config.drift.threshold = drift_threshold;
+      }
+      if (migrate_throttle_mbps > 0.0) {
+        aopts.migrate.bandwidth_bytes_per_s =
+            migrate_throttle_mbps * 1024.0 * 1024.0;
+      }
+      aopts.migrate.max_bg_share = 0.5;
+      aopts.advisor = options;
+      const Layout see = SeeBaseline(loaded->problem);
+      auto ap = SimulateProblemAutopilot(loaded->problem, see, plan, aopts,
+                                         autopilot_duration_s);
+      if (!ap.ok()) {
+        std::fprintf(stderr, "--autopilot: %s\n",
+                     ap.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(
+          "Autopilot (%s): %llu ticks, %llu monitored completions over "
+          "%.2f s simulated\n",
+          AutopilotConfigToString(aopts.config).c_str(),
+          static_cast<unsigned long long>(ap->ticks),
+          static_cast<unsigned long long>(ap->monitor_events),
+          ap->run.elapsed_seconds);
+      for (const AutopilotDecision& d : ap->decisions) {
+        std::printf(
+            "  t=%7.2f drift=%.3f max-util %.1f%% -> %.1f%%, %.1f MB to "
+            "move: %s\n",
+            d.time, d.score, 100 * d.current_max_util,
+            100 * d.advised_max_util, d.migration_bytes / (1024.0 * 1024.0),
+            d.note.c_str());
+      }
+      std::printf(
+          "  migrations: %d started, %d completed, %d suppressed by gate, "
+          "%d rolled back, %d frozen; %.1f MB copied\n",
+          ap->migrations_started, ap->migrations_completed,
+          ap->migrations_suppressed, ap->migrations_rolled_back,
+          ap->migrations_aborted, ap->bytes_copied / (1024.0 * 1024.0));
+      std::printf(
+          "  foreground: %llu requests, mean %.2f ms; final drift score "
+          "%.3f\n",
+          static_cast<unsigned long long>(ap->fg_requests),
+          1e3 * ap->fg_mean_latency_s, ap->final_drift_score);
+      for (const std::string& s : ap->skipped_faults) {
         std::printf("  skipped fault: %s\n", s.c_str());
       }
     }
