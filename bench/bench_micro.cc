@@ -336,6 +336,80 @@ void BM_TargetModelColumnIncremental(benchmark::State& state) {
 }
 BENCHMARK(BM_TargetModelColumnIncremental)->Arg(20)->Arg(40)->Arg(160);
 
+void BM_GridInterpAt(benchmark::State& state) {
+  // Baseline for BM_GridInterpAtWithGrad: value-only lookups. A central
+  // difference needs 2·dims of these per gradient, the fused pass one.
+  const CostModel& model = SharedCostModel();
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ReadCost(rng.Uniform(8192, 262144),
+                                            rng.Uniform(1, 100),
+                                            rng.Uniform(0, 8)));
+  }
+}
+BENCHMARK(BM_GridInterpAt);
+
+void BM_GridInterpAtWithGrad(benchmark::State& state) {
+  // The fused value+gradient lookup: one cell location pass, value plus
+  // all three partials. Compare against 1 + 2·dims = 7 At calls for the
+  // same information via central differences.
+  const CostModel& model = SharedCostModel();
+  Rng rng(2);
+  double d_run = 0.0, d_chi = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.CostWithGrad(false, rng.Uniform(8192, 262144),
+                           rng.Uniform(1, 100), rng.Uniform(0, 8), &d_run,
+                           &d_chi));
+    benchmark::DoNotOptimize(d_run);
+    benchmark::DoNotOptimize(d_chi);
+  }
+}
+BENCHMARK(BM_GridInterpAtWithGrad);
+
+void BM_TargetModelColumnBatched(benchmark::State& state) {
+  // The analytic engine's value unit of work: one SoA-batched µ_j pass
+  // (same answer as BM_TargetModelColumnFull's scalar loop, restructured
+  // over contiguous arrays).
+  const int n = static_cast<int>(state.range(0));
+  const int m = 4;
+  Rng rng(3);
+  WorkloadSet ws = MakeWorkloads(n, &rng);
+  std::vector<TargetModelInfo> infos(
+      static_cast<size_t>(m),
+      TargetModelInfo{&SharedCostModel(), 1, 64 * kKiB});
+  TargetModel model(infos, LvmLayoutModel(64 * kKiB));
+  Layout layout = Layout::StripeEverythingEverywhere(n, m);
+  auto ctx = model.MakeColumnEvaluator(ws, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx->Evaluate(layout));
+  }
+}
+BENCHMARK(BM_TargetModelColumnBatched)->Arg(20)->Arg(40)->Arg(160);
+
+void BM_TargetModelColumnGradient(benchmark::State& state) {
+  // The analytic engine's gradient unit of work: one fused pass returning
+  // µ_j and all N partials ∂µ_j/∂L_ij. The FD engine needs 2·N rank-1
+  // incremental evaluations (BM_TargetModelColumnIncremental) for the
+  // same column gradient.
+  const int n = static_cast<int>(state.range(0));
+  const int m = 4;
+  Rng rng(3);
+  WorkloadSet ws = MakeWorkloads(n, &rng);
+  std::vector<TargetModelInfo> infos(
+      static_cast<size_t>(m),
+      TargetModelInfo{&SharedCostModel(), 1, 64 * kKiB});
+  TargetModel model(infos, LvmLayoutModel(64 * kKiB));
+  Layout layout = Layout::StripeEverythingEverywhere(n, m);
+  auto ctx = model.MakeColumnEvaluator(ws, 0);
+  std::vector<double> grad(static_cast<size_t>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx->EvaluateWithGradient(layout, grad.data()));
+    benchmark::DoNotOptimize(grad.data());
+  }
+}
+BENCHMARK(BM_TargetModelColumnGradient)->Arg(20)->Arg(40)->Arg(160);
+
 void BM_SimplexProjection(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   Rng rng(4);

@@ -390,8 +390,10 @@ Result<ReplanResult> ReplanAfterFailure(const LayoutProblem& problem,
     LayoutNlpProblem nlp = degraded.MakeNlp(&model);
     nlp.frozen_rows.assign(static_cast<size_t>(n), 1);
     for (int i : displaced) nlp.frozen_rows[static_cast<size_t>(i)] = 0;
-    // Derate-aware objective; the incremental column caches price raw µ_j,
-    // so they are disabled for the (small) polish solve.
+    // Derate-aware objective; the incremental column caches and the
+    // analytic gradient engine both price raw µ_j, so column evaluators
+    // are disabled for the (small) polish solve — the solver probes
+    // make_column_eval and falls back to black-box finite differences.
     auto base = nlp.target_utilization;
     const std::vector<double> derate = ropts.target_derate;
     nlp.target_utilization = [base, derate](const Layout& l, int j) {

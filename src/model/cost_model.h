@@ -9,6 +9,14 @@
 
 namespace ldb {
 
+/// Reusable buffers for the batched cost lookups. One instance per caller:
+/// the scratch is not thread-safe, while the CostModel itself stays shared
+/// and immutable.
+struct CostBatchScratch {
+  std::vector<double> log2_size;
+  std::vector<double> log2_run;
+};
+
 /// Black-box per-request cost model for one device type (paper Section
 /// 5.2.2): tabulated mean service times over a calibration grid of
 /// (request size, run count, contention factor), interpolated between grid
@@ -39,6 +47,49 @@ class CostModel {
   /// `is_write` selects the table; inputs are clamped to the grid.
   double Cost(bool is_write, double request_size_bytes, double run_count,
               double contention) const;
+
+  /// Fused value + derivative lookup: returns Cost(...) and fills the
+  /// partial derivatives with respect to the *raw* run count and contention
+  /// factor (the log2 run axis is chain-ruled internally). The size
+  /// derivative is not exposed: request sizes are constants of the layout
+  /// problem, only rates, run counts, and χ move with the layout.
+  /// Derivatives are 0 along clamped axes (see GridInterpolator).
+  double CostWithGrad(bool is_write, double request_size_bytes,
+                      double run_count, double contention, double* d_run,
+                      double* d_chi) const;
+
+  /// Structure-of-arrays batch of Cost lookups: arrays hold `count`
+  /// queries. Preconditions per query match Cost(); `scratch` carries the
+  /// log2-transformed coordinates between calls so steady-state batches
+  /// allocate nothing.
+  void CostBatch(bool is_write, size_t count, const double* size,
+                 const double* run, const double* chi, double* out,
+                 CostBatchScratch* scratch) const;
+
+  /// Batched CostWithGrad: `d_run`/`d_chi` receive per-query derivatives
+  /// with respect to the raw run count and the contention factor.
+  void CostWithGradBatch(bool is_write, size_t count, const double* size,
+                         const double* run, const double* chi, double* cost,
+                         double* d_run, double* d_chi,
+                         CostBatchScratch* scratch) const;
+
+  /// CostBatch over coordinates already in the tables' log domain:
+  /// `log2_size`/`log2_run` hold log2-transformed sizes and run counts.
+  /// Callers holding SoA query batches (the target model's batched column
+  /// evaluator) compute log2(size) once per query template and log2(run)
+  /// once per object instead of twice per query here — the transcendental
+  /// transforms are a visible slice of the batched pass otherwise.
+  void CostBatchLog2(bool is_write, size_t count, const double* log2_size,
+                     const double* log2_run, const double* chi,
+                     double* out) const;
+
+  /// Batched CostWithGrad over log-domain coordinates. The raw `run` array
+  /// is still required to chain-rule `d_run` back to the raw run count.
+  void CostWithGradBatchLog2(bool is_write, size_t count,
+                             const double* log2_size, const double* log2_run,
+                             const double* run, const double* chi,
+                             double* cost, double* d_run,
+                             double* d_chi) const;
 
   /// Convenience wrappers matching the paper's Cost^R_j / Cost^W_j.
   double ReadCost(double size, double run, double chi) const {

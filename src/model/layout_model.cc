@@ -44,4 +44,21 @@ PerTargetWorkload LvmLayoutModel::Transform(const WorkloadDesc& w,
   return out;
 }
 
+double LvmLayoutModel::TransformRunDerivative(const WorkloadDesc& w,
+                                              double fraction) const {
+  LDB_CHECK_GE(fraction, 0.0);
+  LDB_CHECK_LE(fraction, 1.0 + 1e-9);
+  if (fraction <= 0.0) return 0.0;
+  const double stripe = static_cast<double>(stripe_bytes_);
+  const double b = w.mean_size();
+  // Mirror Transform's branch structure: only the round-robin split branch
+  // moves with the fraction, and the clamp at 1 flattens it again.
+  if (b <= 0.0) return 0.0;
+  if (w.run_count * b < stripe) return 0.0;
+  if (w.run_count * b > stripe / fraction) {
+    return w.run_count * fraction < 1.0 ? 0.0 : w.run_count;
+  }
+  return 0.0;
+}
+
 }  // namespace ldb

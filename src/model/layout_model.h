@@ -34,6 +34,15 @@ class LvmLayoutModel {
   /// all-zero workload.
   PerTargetWorkload Transform(const WorkloadDesc& w, double fraction) const;
 
+  /// d(run_count)/d(fraction) of Transform at `fraction` — the analytic
+  /// counterpart used by the solver's closed-form gradient. The run count
+  /// is piecewise in the fraction: it moves only on the round-robin-split
+  /// branch (run = Q_i · L_ij) and only while the result is above the
+  /// clamp at 1; every other branch is constant. At branch boundaries the
+  /// slope of the branch Transform itself takes is returned — a valid
+  /// subgradient.
+  double TransformRunDerivative(const WorkloadDesc& w, double fraction) const;
+
   int64_t stripe_bytes() const { return stripe_bytes_; }
 
  private:

@@ -13,6 +13,12 @@ namespace {
 /// Rates below this are treated as "object not present on target".
 constexpr double kRateEpsilon = 1e-12;
 
+/// Stand-in for χ → ∞ when pricing the gradient of an absent object: as
+/// its fraction leaves zero, a positive interference accumulator divided
+/// by a vanishing own rate sends χ beyond any calibration axis, where
+/// lookups clamp. Any value past the axis end prices that limit exactly.
+constexpr double kClampedChi = 1e30;
+
 }  // namespace
 
 TargetModel::TargetModel(std::vector<TargetModelInfo> targets,
@@ -278,8 +284,12 @@ class TargetColumnContext final : public ColumnEvaluator {
         const WorkloadDesc& wk = (*workloads_)[uk];
         const double o = wk.overlap[ui];
         if (o == 0.0) continue;
+        // max(0, ·): when object i is k's only interferer and delta takes
+        // its rate to zero, the sum cancels to rounding residue that can
+        // dip below 0 — which the cost tables reject as a domain error.
         const double chi =
-            (interfering_[uk] + delta * o) / rk + wk.overlap[uk];
+            std::max(0.0, (interfering_[uk] + delta * o) / rk) +
+            wk.overlap[uk];
         double mu_k;
         if (chi >= seg_lo_[uk] && chi <= seg_hi_[uk]) {
           mu_k = mu_seg_lo_[uk] == mu_seg_hi_[uk]
@@ -295,6 +305,42 @@ class TargetColumnContext final : public ColumnEvaluator {
     }
     return mu;
   }
+
+  // ---- Batched analytic fast path ----
+  //
+  // µ_j and its exact gradient in one structure-of-arrays pass:
+  //
+  //   µ_j = Σ_i µ_ij,   µ_ij = λ^R_ij·mcR_i + λ^W_ij·mcW_i
+  //
+  // where each member cost mc is a fixed linear combination of cost-table
+  // lookups at (size_i, run_i(f_i), χ_i) with sizes and coefficients
+  // constant in the layout (precomputed once as a query template). The
+  // total derivative w.r.t. the object's own fraction f_i = L_ij splits
+  // into
+  //
+  //   ∂µ_j/∂f_i = λ^R_i·mcR_i + λ^W_i·mcW_i            (rates scale with f)
+  //             + (∂µ_ij/∂run_i) · run_i'(f_i)          (run-count branch)
+  //             + (∂µ_ij/∂χ_i) · (−I_i·λ_i/r_i²)        (own χ shift)
+  //             + λ_i · Σ_{k≠i} (∂µ_kj/∂χ_k)·O_k[i]/r_k (cross χ shifts)
+  //
+  // with λ_i the object's total rate, r_i = λ_i·f_i its on-target rate and
+  // I_i its interference accumulator. The cross sum over all i is one
+  // transposed overlap-matrix·vector product — the same O(N²) asymptotics
+  // as one column rebuild, but a two-op inner loop over contiguous arrays.
+  // All interpolator queries of the pass run through the cost model's
+  // batched fused value+gradient lookups.
+
+  bool SupportsGradient() const override { return true; }
+
+  double Evaluate(const Layout& layout) override {
+    return BatchedColumn(layout, nullptr);
+  }
+
+  double EvaluateWithGradient(const Layout& layout, double* grad) override {
+    return BatchedColumn(layout, grad);
+  }
+
+  int64_t interp_queries() const override { return queries_; }
 
  private:
   /// Caches the χ-segment of object `ui`'s µ as (lo, hi, µ(lo), µ(hi)).
@@ -322,6 +368,283 @@ class TargetColumnContext final : public ColumnEvaluator {
     mu_seg_hi_[ui] = model_->PerObjectUtilization(tgt, per_[ui], seg_hi_[ui]);
   }
 
+  /// One cost-table lookup of an object's member-cost expression. Sizes
+  /// and coefficients depend only on the workload and the target geometry,
+  /// so the per-object lookup lists are templated once and reused by every
+  /// batched pass.
+  struct QueryTemplate {
+    bool write_table;  ///< which cost table the lookup hits
+    bool write_role;   ///< scaled by the write rate (else the read rate)
+    double log2_size;  ///< member request size, log2 bytes (the size axis
+                       ///< is log-domain and sizes never change, so the
+                       ///< transform happens once at template build)
+    double coef;       ///< member-cost coefficient (involved/k, rows/k, …)
+  };
+
+  /// Structure-of-arrays buffers for one table's queries of a pass. Size
+  /// and run coordinates are kept in the cost tables' log2 domain; the raw
+  /// run count rides along only for the d_run chain rule.
+  struct QueryBatch {
+    std::vector<double> log2_size, log2_run, run, chi, coef, cost, d_run,
+        d_chi;
+    std::vector<int> obj;
+    std::vector<char> role;  // 1 = write-role
+
+    void Clear() {
+      log2_size.clear();
+      log2_run.clear();
+      run.clear();
+      chi.clear();
+      coef.clear();
+      obj.clear();
+      role.clear();
+    }
+  };
+
+  /// Mirrors PerObjectUtilization's member_cost structure into per-object
+  /// query templates (one flattened list, per-object spans in
+  /// tmpl_begin_).
+  void BuildQueryTemplate(const TargetModelInfo& tgt, size_t un) {
+    tmpl_.clear();
+    tmpl_begin_.assign(un + 1, 0);
+    const double k = tgt.num_members;
+    const double stripe = static_cast<double>(tgt.stripe_bytes);
+    for (size_t i = 0; i < un; ++i) {
+      const WorkloadDesc& w = (*workloads_)[i];
+      for (int dir = 0; dir < 2; ++dir) {
+        const bool write = dir == 1;
+        const double rate = write ? w.write_rate : w.read_rate;
+        const double size = write ? w.write_size : w.read_size;
+        // A zero-rate direction multiplies out of the value and of every
+        // gradient term; a zero-size request costs nothing (member_cost).
+        if (rate <= 0.0 || size <= 0.0) continue;
+        const double chunks = std::ceil(size / stripe);
+        switch (tgt.raid_level) {
+          case RaidLevel::kRaid1:
+            tmpl_.push_back(
+                {write, write, std::log2(size), write ? 1.0 : 1.0 / k});
+            break;
+          case RaidLevel::kRaid5: {
+            const double data_cols = std::max(1.0, k - 1);
+            const double involved = std::min(data_cols, std::max(1.0, chunks));
+            tmpl_.push_back(
+                {write, write, std::log2(size / involved), involved / k});
+            if (write) {
+              const double rows = std::max(1.0, chunks / data_cols);
+              const double parity_size = std::min(size, stripe);
+              tmpl_.push_back({false, true, std::log2(parity_size), rows / k});
+              tmpl_.push_back({true, true, std::log2(parity_size), rows / k});
+            }
+            break;
+          }
+          case RaidLevel::kRaid0: {
+            const double involved = std::min(k, std::max(1.0, chunks));
+            tmpl_.push_back(
+                {write, write, std::log2(size / involved), involved / k});
+            break;
+          }
+        }
+      }
+      tmpl_begin_[i + 1] = tmpl_.size();
+    }
+  }
+
+  /// Transform's run count in the fraction → 0+ limit: the round-robin
+  /// split branch (run ∝ fraction) is unreachable there, leaving the
+  /// constant branches.
+  double LimitRunCount(const WorkloadDesc& w) const {
+    const double stripe =
+        static_cast<double>(model_->layout_model().stripe_bytes());
+    const double b = w.mean_size();
+    double run = w.run_count;
+    if (b > 0.0 && w.run_count * b >= stripe) run = stripe / b;
+    return run < 1.0 ? 1.0 : run;
+  }
+
+  /// The shared batched kernel: µ_j(layout), plus grad[i] = ∂µ_j/∂L_ij
+  /// when `grad` is non-null. Independent of (and harmless to) the
+  /// incremental Rebuild/WithObject state.
+  double BatchedColumn(const Layout& layout, double* grad) {
+    const int n = layout.num_objects();
+    const size_t un = static_cast<size_t>(n);
+    const TargetModelInfo& tgt = model_->target_info(j_);
+    if (tmpl_begin_.size() != un + 1) BuildQueryTemplate(tgt, un);
+
+    bper_.resize(un);
+    bfrac_.resize(un);
+    brate_.resize(un);
+    binterf_.resize(un);
+    for (size_t i = 0; i < un; ++i) {
+      bfrac_[i] = std::max(0.0, layout.At(static_cast<int>(i), j_));
+      bper_[i] =
+          model_->layout_model().Transform((*workloads_)[i], bfrac_[i]);
+      const double r = bper_[i].total_rate();
+      brate_[i] = r <= kRateEpsilon ? 0.0 : r;
+    }
+
+    // Interference accumulators: one contiguous overlap-row · rate dot
+    // product per object — the column's O(N²) work, shaped so the
+    // compiler can vectorize it. The value-only pass skips absent rows;
+    // the gradient pass needs every row (an absent object's χ limit
+    // depends on whether anything interferes with it).
+    const double* rate = brate_.data();
+    for (size_t i = 0; i < un; ++i) {
+      if (grad == nullptr && rate[i] <= 0.0) {
+        binterf_[i] = 0.0;
+        continue;
+      }
+      const double* o = (*workloads_)[i].overlap.data();
+      // Four fixed-order accumulator lanes: reassociates the sum the same
+      // way on every run and thread count, and gives the compiler
+      // independent chains to turn into vector FMAs.
+      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+      size_t k = 0;
+      for (; k + 4 <= un; k += 4) {
+        acc0 += rate[k] * o[k];
+        acc1 += rate[k + 1] * o[k + 1];
+        acc2 += rate[k + 2] * o[k + 2];
+        acc3 += rate[k + 3] * o[k + 3];
+      }
+      double dot = (acc0 + acc1) + (acc2 + acc3);
+      for (; k < un; ++k) dot += rate[k] * o[k];
+      binterf_[i] = dot - rate[i] * o[i];
+    }
+
+    // Gather the pass's cost queries, split by lookup table.
+    qb_[0].Clear();
+    qb_[1].Clear();
+    for (size_t i = 0; i < un; ++i) {
+      const WorkloadDesc& wi = (*workloads_)[i];
+      double run;
+      double chi;
+      if (rate[i] > 0.0) {
+        run = bper_[i].run_count;
+        chi = binterf_[i] / rate[i] + wi.overlap[i];
+      } else if (grad != nullptr) {
+        // Fraction → 0+ limit: the rates vanish linearly, so ∂µ_ij/∂L_ij
+        // tends to λ^R·mcR + λ^W·mcW priced at the limiting run count and
+        // contention factor.
+        run = LimitRunCount(wi);
+        chi = binterf_[i] > 0.0 ? kClampedChi : wi.overlap[i];
+      } else {
+        continue;  // absent objects contribute nothing to the value
+      }
+      const double log2_run = std::log2(run);  // once per object, not query
+      for (size_t q = tmpl_begin_[i]; q < tmpl_begin_[i + 1]; ++q) {
+        const QueryTemplate& t = tmpl_[q];
+        QueryBatch& b = qb_[t.write_table ? 1 : 0];
+        b.log2_size.push_back(t.log2_size);
+        b.log2_run.push_back(log2_run);
+        b.run.push_back(run);
+        b.chi.push_back(chi);
+        b.coef.push_back(t.coef);
+        b.obj.push_back(static_cast<int>(i));
+        b.role.push_back(t.write_role ? 1 : 0);
+      }
+    }
+
+    // Batched fused lookups, then per-object member-cost accumulation.
+    mc_read_.assign(un, 0.0);
+    mc_write_.assign(un, 0.0);
+    if (grad != nullptr) {
+      drun_read_.assign(un, 0.0);
+      drun_write_.assign(un, 0.0);
+      dchi_read_.assign(un, 0.0);
+      dchi_write_.assign(un, 0.0);
+    }
+    for (int t = 0; t < 2; ++t) {
+      QueryBatch& b = qb_[t];
+      const size_t count = b.log2_size.size();
+      if (count == 0) continue;
+      queries_ += static_cast<int64_t>(count);
+      b.cost.resize(count);
+      if (grad != nullptr) {
+        b.d_run.resize(count);
+        b.d_chi.resize(count);
+        tgt.cost_model->CostWithGradBatchLog2(
+            t == 1, count, b.log2_size.data(), b.log2_run.data(),
+            b.run.data(), b.chi.data(), b.cost.data(), b.d_run.data(),
+            b.d_chi.data());
+      } else {
+        tgt.cost_model->CostBatchLog2(t == 1, count, b.log2_size.data(),
+                                      b.log2_run.data(), b.chi.data(),
+                                      b.cost.data());
+      }
+      for (size_t q = 0; q < count; ++q) {
+        const size_t uo = static_cast<size_t>(b.obj[q]);
+        const double coef = b.coef[q];
+        if (b.role[q] != 0) {
+          mc_write_[uo] += coef * b.cost[q];
+          if (grad != nullptr) {
+            drun_write_[uo] += coef * b.d_run[q];
+            dchi_write_[uo] += coef * b.d_chi[q];
+          }
+        } else {
+          mc_read_[uo] += coef * b.cost[q];
+          if (grad != nullptr) {
+            drun_read_[uo] += coef * b.d_run[q];
+            dchi_read_[uo] += coef * b.d_chi[q];
+          }
+        }
+      }
+    }
+
+    double mu_j = 0.0;
+    if (grad == nullptr) {
+      for (size_t i = 0; i < un; ++i) {
+        if (rate[i] <= 0.0) continue;
+        mu_j += bper_[i].read_rate * mc_read_[i] +
+                bper_[i].write_rate * mc_write_[i];
+      }
+      return mu_j;
+    }
+
+    // χ-slopes and their rate-normalized cross-term coefficients.
+    ck_.assign(un, 0.0);
+    bslope_.assign(un, 0.0);
+    for (size_t i = 0; i < un; ++i) {
+      if (rate[i] <= 0.0) continue;
+      mu_j += bper_[i].read_rate * mc_read_[i] +
+              bper_[i].write_rate * mc_write_[i];
+      const double slope = bper_[i].read_rate * dchi_read_[i] +
+                           bper_[i].write_rate * dchi_write_[i];
+      bslope_[i] = slope;
+      ck_[i] = slope / rate[i];
+    }
+
+    // Cross terms for every i at once: Σ_k c_k·O_k[i] is a transposed
+    // overlap·c product; accumulating row-by-row keeps the inner loop
+    // contiguous (one fused multiply-add per element).
+    bcross_.assign(un, 0.0);
+    double* cross = bcross_.data();
+    for (size_t k = 0; k < un; ++k) {
+      const double c = ck_[k];
+      if (c == 0.0) continue;
+      const double* o = (*workloads_)[k].overlap.data();
+      for (size_t i = 0; i < un; ++i) cross[i] += c * o[i];
+    }
+
+    for (size_t i = 0; i < un; ++i) {
+      const WorkloadDesc& wi = (*workloads_)[i];
+      const double lam = wi.total_rate();
+      double g =
+          wi.read_rate * mc_read_[i] + wi.write_rate * mc_write_[i];
+      g += lam * (cross[i] - ck_[i] * wi.overlap[i]);
+      if (rate[i] > 0.0) {
+        const double dq =
+            model_->layout_model().TransformRunDerivative(wi, bfrac_[i]);
+        if (dq != 0.0) {
+          g += (bper_[i].read_rate * drun_read_[i] +
+                bper_[i].write_rate * drun_write_[i]) *
+               dq;
+        }
+        g += bslope_[i] * (-binterf_[i] * lam / (rate[i] * rate[i]));
+      }
+      grad[i] = g;
+    }
+    return mu_j;
+  }
+
   const TargetModel* model_;
   const WorkloadSet* workloads_;
   const int j_;
@@ -333,6 +656,19 @@ class TargetColumnContext final : public ColumnEvaluator {
   std::vector<double> seg_lo_, seg_hi_;
   std::vector<double> mu_seg_lo_, mu_seg_hi_;
   double mu_j_ = 0.0;
+
+  // Batched-pass state: the query template and the reused scratch buffers
+  // (separate from the incremental caches above — the two paths never
+  // disturb each other).
+  std::vector<QueryTemplate> tmpl_;
+  std::vector<size_t> tmpl_begin_;
+  QueryBatch qb_[2];  // [0] read table, [1] write table
+  std::vector<PerTargetWorkload> bper_;
+  std::vector<double> bfrac_, brate_, binterf_;
+  std::vector<double> mc_read_, mc_write_;
+  std::vector<double> drun_read_, drun_write_, dchi_read_, dchi_write_;
+  std::vector<double> ck_, bslope_, bcross_;
+  int64_t queries_ = 0;
 };
 
 }  // namespace

@@ -48,6 +48,28 @@ struct LayoutNlpProblem {
   /// update, and no capacity-repair donation. Empty = nothing frozen; size
   /// must equal num_objects when set.
   std::vector<char> frozen_rows;
+
+  /// Analytic utilization Jacobian: fills
+  /// grad_out[i·num_targets + j] = ∂µ_j/∂L_ij (row-major N×M) via the
+  /// column evaluators' fused batched passes and returns true. Returns
+  /// false — leaving grad_out untouched — when the problem carries no
+  /// analytic-gradient support (no make_column_eval, or evaluators that do
+  /// not implement it); callers then fall back to finite differences.
+  /// Convenience entry point for tests and tools; the solver holds
+  /// persistent evaluators instead of re-creating them per call.
+  bool Gradient(const Layout& layout, double* grad_out) const;
+};
+
+/// How the projected-gradient solver prices ∇(objective).
+enum class GradientMode {
+  /// Closed-form gradient through the interpolated cost tables, the
+  /// per-column statistics, and the SmoothMax/penalty composition — one
+  /// fused value+gradient pass per column per step. Falls back to kFd
+  /// when the problem provides no analytic support.
+  kAnalytic,
+  /// Central finite differences (2·N·M objective perturbations per step).
+  /// Retained as the differential-testing baseline.
+  kFd,
 };
 
 /// Tuning knobs of the projected-gradient layout solver.
@@ -76,8 +98,54 @@ struct SolverOptions {
   /// Use the problem's incremental column evaluators (when provided) for
   /// finite-difference pricing. Off switches the solver back to full µ_j
   /// recomputations per perturbation — the pre-cache engine, kept as the
-  /// benchmark baseline.
+  /// benchmark baseline. Only consulted in kFd gradient mode (or when
+  /// analytic mode falls back to finite differences).
   bool use_incremental_cache = true;
+
+  /// Gradient engine (see GradientMode). Analytic by default; kFd pins
+  /// the finite-difference path for differential testing and benchmarks.
+  GradientMode gradient_mode = GradientMode::kAnalytic;
+
+  /// Record a per-accepted-step convergence trace (iteration, elapsed ns,
+  /// true max µ) into SolverResult::trace. The trace is measurement only
+  /// — the ns column varies run to run, the quality column is
+  /// deterministic. Off by default; the benches turn it on to report
+  /// time-to-matched-quality across engines.
+  bool record_trace = false;
+};
+
+/// One accepted solver step in the convergence trace.
+struct SolverTracePoint {
+  int iteration = 0;     ///< cumulative gradient steps when recorded
+  int64_t ns = 0;        ///< elapsed wall time since Solve() entry
+  double true_max = 0.0; ///< true max_j µ_j at the accepted iterate
+};
+
+/// Wall-clock and call counts of one solver phase (leanstore-style
+/// profiling table row; timings are measurement, not part of the
+/// deterministic result).
+struct SolverPhaseStats {
+  int64_t calls = 0;
+  int64_t ns = 0;
+
+  void Accumulate(const SolverPhaseStats& o) {
+    calls += o.calls;
+    ns += o.ns;
+  }
+};
+
+/// Per-phase effort breakdown of a solve, surfaced through the benches'
+/// --json output so speedups land with numbers attached.
+struct SolverProfile {
+  SolverPhaseStats gradient;     ///< gradient sweeps (analytic or FD)
+  SolverPhaseStats line_search;  ///< backtracking trial evaluations
+  SolverPhaseStats refresh;      ///< accepted-state cache rebuilds
+
+  void Accumulate(const SolverProfile& o) {
+    gradient.Accumulate(o.gradient);
+    line_search.Accumulate(o.line_search);
+    refresh.Accumulate(o.refresh);
+  }
 };
 
 /// Outcome of one solver run.
@@ -91,6 +159,17 @@ struct SolverResult {
   /// Rank-1 incremental µ_j evaluations (O(N) each) served by the column
   /// cache instead of a full recompute.
   int64_t incremental_evaluations = 0;
+  /// Fused analytic column-gradient passes (one per column per step in
+  /// analytic mode; 0 under finite differences).
+  int64_t gradient_evaluations = 0;
+  /// Interpolator lookups issued by the batched analytic kernels (each
+  /// visits the 2^dims corners of one grid cell).
+  int64_t interp_queries = 0;
+  /// Per-phase counters and timings of this solve.
+  SolverProfile profile;
+  /// Convergence trace of accepted steps (only when
+  /// SolverOptions::record_trace; under multi-start, the winning seed's).
+  std::vector<SolverTracePoint> trace;
   bool feasible = false;    ///< capacity constraints satisfied
 
   SolverResult() : layout(1, 1), max_utilization(0) {}

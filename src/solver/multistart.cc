@@ -65,12 +65,18 @@ Result<SolverResult> MultiStartSolver::Solve(
           have_best ? best.objective_evaluations : 0;
       r.incremental_evaluations +=
           have_best ? best.incremental_evaluations : 0;
+      r.gradient_evaluations += have_best ? best.gradient_evaluations : 0;
+      r.interp_queries += have_best ? best.interp_queries : 0;
+      if (have_best) r.profile.Accumulate(best.profile);
       best = std::move(r);
       have_best = true;
     } else {
       best.iterations += r.iterations;
       best.objective_evaluations += r.objective_evaluations;
       best.incremental_evaluations += r.incremental_evaluations;
+      best.gradient_evaluations += r.gradient_evaluations;
+      best.interp_queries += r.interp_queries;
+      best.profile.Accumulate(r.profile);
     }
   }
   return best;

@@ -1,6 +1,7 @@
 #include "solver/projected_gradient.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <vector>
@@ -13,6 +14,22 @@
 namespace ldb {
 
 namespace {
+
+/// Monotonic nanoseconds for the per-phase profiling counters. Timings are
+/// observability only — they never feed back into the optimization, so the
+/// solve stays deterministic.
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Which machinery the evaluation engine runs on.
+enum class EvalEngine {
+  kBlackBox,     ///< target_utilization only (full µ_j per evaluation)
+  kIncremental,  ///< column contexts: Rebuild + rank-1 WithObject FD
+  kAnalytic,     ///< column contexts: batched Evaluate / fused gradients
+};
 
 Status ValidateProblem(const LayoutNlpProblem& p, const Layout& initial) {
   if (p.num_objects <= 0 || p.num_targets <= 0) {
@@ -92,21 +109,24 @@ double SeparationPenalty(const LayoutNlpProblem& p, const Layout& layout) {
 /// every reduction stays serial so results are thread-count invariant.
 class Evaluator {
  public:
-  Evaluator(const LayoutNlpProblem& p, ThreadPool* pool, bool use_contexts,
+  Evaluator(const LayoutNlpProblem& p, ThreadPool* pool, EvalEngine engine,
             int64_t* eval_counter)
-      : p_(p), pool_(pool), eval_counter_(eval_counter) {
-    if (use_contexts && p.make_column_eval) {
+      : p_(p), pool_(pool), engine_(engine), eval_counter_(eval_counter) {
+    if (engine_ != EvalEngine::kBlackBox && p.make_column_eval) {
       contexts_.reserve(static_cast<size_t>(p.num_targets));
       for (int j = 0; j < p.num_targets; ++j) {
         contexts_.push_back(p.make_column_eval(j));
       }
     }
+    if (contexts_.empty()) engine_ = EvalEngine::kBlackBox;
     partners_.resize(static_cast<size_t>(p.num_objects));
     for (const auto& [a, b] : p.constraints.separate) {
       partners_[static_cast<size_t>(a)].push_back(b);
       partners_[static_cast<size_t>(b)].push_back(a);
     }
   }
+
+  EvalEngine engine() const { return engine_; }
 
   /// Fully (re)computes caches for `layout`. Column evaluations fan out
   /// over the pool; each writes its own slot.
@@ -115,7 +135,9 @@ class Evaluator {
     mu_.resize(static_cast<size_t>(m));
     auto column = [&](int, int64_t j) {
       const size_t uj = static_cast<size_t>(j);
-      if (!contexts_.empty()) {
+      if (engine_ == EvalEngine::kAnalytic) {
+        mu_[uj] = contexts_[uj]->Evaluate(layout);
+      } else if (engine_ == EvalEngine::kIncremental) {
         contexts_[uj]->Rebuild(layout);
         mu_[uj] = contexts_[uj]->Base();
       } else {
@@ -188,6 +210,29 @@ class Evaluator {
                              : contexts_[static_cast<size_t>(j)].get();
   }
 
+  /// Copies another evaluator's caches wholesale. Valid only when this
+  /// engine keeps no per-layout context state (the analytic engine's
+  /// contexts are pure batched kernels) — it spares the accepted-step
+  /// double evaluation: the line search just computed these exact values
+  /// for the accepted trial layout.
+  void AdoptState(const Evaluator& o) {
+    mu_ = o.mu_;
+    bytes_ = o.bytes_;
+    penalty_terms_ = o.penalty_terms_;
+    penalty_sum_ = o.penalty_sum_;
+    separation_ = o.separation_;
+  }
+
+  /// Interpolator queries issued by this evaluator's batched kernels,
+  /// summed serially in column order.
+  int64_t TotalInterpQueries() const {
+    int64_t total = 0;
+    for (const auto& ctx : contexts_) {
+      if (ctx != nullptr) total += ctx->interp_queries();
+    }
+    return total;
+  }
+
   double TrueMax() const { return *std::max_element(mu_.begin(), mu_.end()); }
   const std::vector<double>& mu() const { return mu_; }
   double bytes(int j) const { return bytes_[static_cast<size_t>(j)]; }
@@ -196,6 +241,7 @@ class Evaluator {
  private:
   const LayoutNlpProblem& p_;
   ThreadPool* pool_;
+  EvalEngine engine_;
   int64_t* eval_counter_;
   std::vector<std::unique_ptr<ColumnEvaluator>> contexts_;
   std::vector<std::vector<int>> partners_;
@@ -313,15 +359,58 @@ Result<SolverResult> ProjectedGradientSolver::Solve(
                           &sort_scratch);
   }
 
-  Evaluator eval(problem, pool.get(), options_.use_incremental_cache,
+  // Engine selection. Analytic mode needs evaluators with fused gradient
+  // support; without them (or in kFd mode) the finite-difference engine
+  // runs, through the incremental column caches when enabled. The choice
+  // depends only on the problem and options, never on thread count.
+  EvalEngine engine = EvalEngine::kBlackBox;
+  if (problem.make_column_eval) {
+    bool analytic_ok = false;
+    if (options_.gradient_mode == GradientMode::kAnalytic) {
+      const std::unique_ptr<ColumnEvaluator> probe =
+          problem.make_column_eval(0);
+      analytic_ok = probe != nullptr && probe->SupportsGradient();
+    }
+    engine = analytic_ok ? EvalEngine::kAnalytic
+             : options_.use_incremental_cache ? EvalEngine::kIncremental
+                                              : EvalEngine::kBlackBox;
+  }
+
+  const int64_t solve_t0 = NowNanos();
+  Evaluator eval(problem, pool.get(), engine,
                  &result.objective_evaluations);
-  eval.Refresh(result.layout);
-  // Line-search evaluator: full refreshes only, no incremental contexts.
-  Evaluator trial_eval(problem, pool.get(), /*use_contexts=*/false,
+  engine = eval.engine();  // honor the evaluator's downgrade, if any
+  {
+    const int64_t t0 = NowNanos();
+    eval.Refresh(result.layout);
+    result.profile.refresh.calls += 1;
+    result.profile.refresh.ns += NowNanos() - t0;
+  }
+  if (options_.record_trace) {
+    result.trace.push_back({0, NowNanos() - solve_t0, eval.TrueMax()});
+  }
+  // Line-search evaluator: full refreshes only. The analytic engine gives
+  // it the batched per-column kernels; otherwise it prices µ_j black-box
+  // (no incremental contexts — those would be rebuilt per trial anyway).
+  Evaluator trial_eval(problem, pool.get(),
+                       engine == EvalEngine::kAnalytic
+                           ? EvalEngine::kAnalytic
+                           : EvalEngine::kBlackBox,
                        &result.objective_evaluations);
 
   Layout& x = result.layout;
   std::vector<double> grad(static_cast<size_t>(n) * static_cast<size_t>(m));
+  // Analytic sweep scratch: per-column ∂µ_j/∂L_·j slots (column-major so
+  // each parallel column task writes one contiguous span), SmoothMax
+  // weights, and capacity-penalty slopes.
+  std::vector<double> dmu;
+  std::vector<double> smw;
+  std::vector<double> dcap;
+  if (engine == EvalEngine::kAnalytic) {
+    dmu.resize(static_cast<size_t>(n) * static_cast<size_t>(m));
+    smw.resize(static_cast<size_t>(m));
+    dcap.resize(static_cast<size_t>(m));
+  }
   // Per-lane scratch layouts for the fallback (black-box) FD path; each
   // lane perturbs its own copy of x, never x itself.
   std::vector<Layout> fd_scratch(static_cast<size_t>(lanes), Layout(1, 1));
@@ -340,6 +429,64 @@ Result<SolverResult> ProjectedGradientSolver::Solve(
     for (int iter = 0; iter < options_.max_iterations_per_round; ++iter) {
       ++result.iterations;
 
+      const int64_t grad_t0 = NowNanos();
+      if (engine == EvalEngine::kAnalytic) {
+        // Fused analytic sweep: one batched value+gradient pass per column
+        // fills ∂µ_j/∂L_·j into that column's disjoint dmu span; the
+        // SmoothMax and penalty compositions are then chain-ruled serially
+        // in index order, so the gradient is bit-identical for every
+        // thread count. Cost per step: M kernel passes, not 2·N·M
+        // objective perturbations.
+        auto grad_column = [&](int, int64_t jj) {
+          const size_t uj = static_cast<size_t>(jj);
+          eval.context(static_cast<int>(jj))
+              ->EvaluateWithGradient(x, &dmu[uj * static_cast<size_t>(n)]);
+        };
+        if (pool != nullptr) {
+          pool->ParallelFor(m, grad_column);
+        } else {
+          for (int j = 0; j < m; ++j) grad_column(0, j);
+        }
+        result.gradient_evaluations += m;
+
+        // ∂SmoothMax/∂µ_j = softmax weight of µ_j at the current
+        // temperature (see simplex.h: F = vmax + log Σ exp(t(µ−vmax))/t).
+        const std::vector<double>& mu = eval.mu();
+        double vmax = mu[0];
+        for (double v : mu) vmax = std::max(vmax, v);
+        double wsum = 0.0;
+        for (int j = 0; j < m; ++j) {
+          const size_t uj = static_cast<size_t>(j);
+          smw[uj] = std::exp(temp * (mu[uj] - vmax));
+          wsum += smw[uj];
+        }
+        for (int j = 0; j < m; ++j) smw[static_cast<size_t>(j)] /= wsum;
+        // Capacity penalty max(0, over)² with over = (bytes−cap)/cap:
+        // slope in bytes is 2·over/cap on over-full targets, 0 elsewhere
+        // (0 is the valid subgradient at the kink).
+        for (int j = 0; j < m; ++j) {
+          const size_t uj = static_cast<size_t>(j);
+          const double cap = static_cast<double>(
+              problem.target_capacities[static_cast<size_t>(j)]);
+          const double over = (eval.bytes(j) - cap) / cap;
+          dcap[uj] = over > 0.0 ? 2.0 * over / cap : 0.0;
+        }
+        for (int i = 0; i < n; ++i) {
+          double* grow = &grad[static_cast<size_t>(i) * static_cast<size_t>(m)];
+          if (RowFrozen(problem, i)) {
+            for (int j = 0; j < m; ++j) grow[j] = 0.0;
+            continue;
+          }
+          const double si = static_cast<double>(
+              problem.object_sizes[static_cast<size_t>(i)]);
+          for (int j = 0; j < m; ++j) {
+            const size_t uj = static_cast<size_t>(j);
+            grow[j] = smw[uj] * dmu[uj * static_cast<size_t>(n) +
+                                    static_cast<size_t>(i)] +
+                      penalty * (dcap[uj] * si + eval.PartnerMass(i, j, x));
+          }
+        }
+      } else {
       // Central finite differences over the (i, j) grid, one column per
       // task. The incremental contexts price each perturbation as a rank-1
       // update; without them a lane-local layout copy feeds the black-box
@@ -409,20 +556,24 @@ Result<SolverResult> ProjectedGradientSolver::Solve(
       } else {
         for (int j = 0; j < m; ++j) fd_column(0, j);
       }
-      // Serial reductions in index order: effort counters and the gradient
-      // norm come out identical for every thread count.
-      double grad_norm2 = 0.0;
-      for (double g : grad) grad_norm2 += g * g;
       for (int j = 0; j < m; ++j) {
         result.objective_evaluations += col_full[static_cast<size_t>(j)];
         result.incremental_evaluations += col_inc[static_cast<size_t>(j)];
       }
+      }
+      result.profile.gradient.calls += 1;
+      result.profile.gradient.ns += NowNanos() - grad_t0;
+      // Serial reduction in index order: the gradient norm comes out
+      // identical for every thread count.
+      double grad_norm2 = 0.0;
+      for (double g : grad) grad_norm2 += g * g;
       if (grad_norm2 < 1e-18) break;
 
       // Backtracking projected-gradient step.
       double f_best = f;
       bool accepted = false;
       double alpha = step;
+      const int64_t ls_t0 = NowNanos();
       for (int bt = 0; bt < options_.max_backtracks; ++bt) {
         trial = x;
         for (int i = 0; i < n; ++i) {
@@ -434,6 +585,7 @@ Result<SolverResult> ProjectedGradientSolver::Solve(
           ProjectRowConstrained(problem, i, row, &sub_scratch, &sort_scratch);
         }
         trial_eval.Refresh(trial);
+        result.profile.line_search.calls += 1;
         const double f_trial = trial_eval.Objective(temp, penalty);
         if (f_trial < f - options_.armijo_c * alpha * grad_norm2) {
           f_best = f_trial;
@@ -442,12 +594,29 @@ Result<SolverResult> ProjectedGradientSolver::Solve(
         }
         alpha *= options_.backtrack;
       }
+      result.profile.line_search.ns += NowNanos() - ls_t0;
       if (!accepted) break;  // no descent direction at this temperature
 
       const double improvement = (f - f_best) / std::max(1e-12, std::fabs(f));
       x = trial;
-      eval.Refresh(x);
+      {
+        const int64_t rf_t0 = NowNanos();
+        if (engine == EvalEngine::kAnalytic) {
+          // trial_eval just priced the accepted layout with the same
+          // stateless batched kernels — adopt its caches instead of
+          // paying the refresh twice.
+          eval.AdoptState(trial_eval);
+        } else {
+          eval.Refresh(x);
+        }
+        result.profile.refresh.calls += 1;
+        result.profile.refresh.ns += NowNanos() - rf_t0;
+      }
       f = eval.Objective(temp, penalty);
+      if (options_.record_trace) {
+        result.trace.push_back(
+            {result.iterations, NowNanos() - solve_t0, eval.TrueMax()});
+      }
       step = std::min(options_.initial_step, alpha * 2.0);
       if (improvement < options_.tolerance) {
         if (++stall >= options_.patience) break;
@@ -469,6 +638,8 @@ Result<SolverResult> ProjectedGradientSolver::Solve(
       x.IsValid(problem.object_sizes, problem.target_capacities, 1e-6) &&
       problem.constraints.SatisfiedBy(x, /*tol=*/1e-3);
   result.max_utilization = eval.TrueMax();
+  result.interp_queries =
+      eval.TotalInterpQueries() + trial_eval.TotalInterpQueries();
   return result;
 }
 

@@ -37,6 +37,31 @@ class GridInterpolator {
   /// millions of times per run).
   double At(const double* point, size_t dims) const;
 
+  /// Fused value + gradient: evaluates the interpolant and its partial
+  /// derivative along every axis in one cell-location pass. `grad_out`
+  /// receives dimensions() entries. This is the analytic-gradient hot
+  /// path: pricing value and slopes separately would locate the cell (one
+  /// binary search per axis) multiple times for the same query.
+  ///
+  /// Outside the grid the interpolant clamps and is therefore constant, so
+  /// the derivative along a clamped axis is 0. Exactly on the boundary the
+  /// interior one-sided slope is returned — a valid subgradient of the
+  /// clamped interpolant.
+  double AtWithGrad(const double* point, size_t dims, double* grad_out) const;
+
+  /// Structure-of-arrays batch evaluation: `coords[d]` holds `count`
+  /// coordinates for axis d; `out` receives `count` values. Equivalent to
+  /// calling At() per query with the argument checks hoisted out of the
+  /// loop, keeping the weight/stride arithmetic tight over contiguous
+  /// arrays.
+  void AtBatch(size_t count, const double* const* coords, double* out) const;
+
+  /// Batched AtWithGrad: `grads[d]` receives the axis-d partials of every
+  /// query; a null `grads[d]` skips that axis (callers that never need a
+  /// size derivative, say, pay nothing for it).
+  void AtWithGradBatch(size_t count, const double* const* coords, double* out,
+                       double* const* grads) const;
+
   size_t dimensions() const { return axes_.size(); }
   const std::vector<std::vector<double>>& axes() const { return axes_; }
   const std::vector<double>& values() const { return values_; }
@@ -44,6 +69,21 @@ class GridInterpolator {
  private:
   GridInterpolator(std::vector<std::vector<double>> axes,
                    std::vector<double> values, std::vector<size_t> strides);
+
+  /// Shared per-query kernels behind At/AtWithGrad and their batch forms
+  /// (argument checks live in the public entry points).
+  double ValueCore(const double* point, size_t dims) const;
+  double ValueGradCore(const double* point, size_t dims,
+                       double* grad_out) const;
+
+  /// Straight-line trilinear kernels for the 3-axis grids every cost model
+  /// uses: a factored lerp chain instead of the generic 2^dims corner sweep
+  /// (whose per-corner bit tests and degenerate-axis branches dominate the
+  /// batched evaluators' profile). Values agree with ValueCore to rounding
+  /// (different association order), so only the batch entry points use
+  /// them; the scalar At/AtWithGrad keep their historical bit patterns.
+  double Value3(const double* point) const;
+  double ValueGrad3(const double* point, double* grad_out) const;
 
   std::vector<std::vector<double>> axes_;
   std::vector<double> values_;

@@ -13,8 +13,10 @@
 #include "core/incremental.h"
 #include "core/problem.h"
 #include "core/replan.h"
+#include "model/cost_model.h"
 #include "model/layout.h"
 #include "model/layout_model.h"
+#include "model/target_model.h"
 #include "solver/projected_gradient.h"
 #include "solver/simplex.h"
 #include "storage/disk.h"
@@ -606,6 +608,168 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ReplanProperty,
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalProperty,
                          ::testing::Values(uint64_t{21}, uint64_t{22},
                                            uint64_t{23}));
+
+// ------------------------------------------- analytic utilization gradient
+
+/// Synthetic multi-point cost grid: interior cells and clamped tails on
+/// every axis, so the gradient sweep crosses real interpolation kinks.
+CostModel MakeGradientCostModel() {
+  std::vector<double> sizes{static_cast<double>(8 * kKiB),
+                            static_cast<double>(64 * kKiB),
+                            static_cast<double>(512 * kKiB)};
+  std::vector<double> runs{1, 8, 64};
+  std::vector<double> chis{0, 0.5, 1, 2, 4};
+  std::vector<double> reads, writes;
+  for (double s : sizes) {
+    for (double q : runs) {
+      for (double c : chis) {
+        const double v =
+            0.004 * (s / (8 * kKiB)) * (1.0 + 0.7 * c) / std::sqrt(q);
+        reads.push_back(v);
+        writes.push_back(1.4 * v);
+      }
+    }
+  }
+  auto m = CostModel::Create("grad-grid", sizes, runs, chis, reads, writes);
+  LDB_CHECK(m.ok());
+  return std::move(m).value();
+}
+
+struct GradientInstance {
+  std::unique_ptr<CostModel> cost;
+  std::unique_ptr<TargetModel> model;
+  std::unique_ptr<WorkloadSet> workloads;
+  LayoutNlpProblem nlp;
+};
+
+GradientInstance MakeGradientInstance(int n, int m, Rng* rng) {
+  GradientInstance gi;
+  gi.cost = std::make_unique<CostModel>(MakeGradientCostModel());
+  gi.workloads = std::make_unique<WorkloadSet>(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    WorkloadDesc& w = (*gi.workloads)[static_cast<size_t>(i)];
+    w.read_rate = rng->Uniform(1, 150);
+    w.read_size = 64 * kKiB;
+    w.write_rate = rng->Uniform(0, 25);
+    w.write_size = 8 * kKiB;
+    w.run_count = rng->Uniform(1, 60);
+    w.overlap.assign(static_cast<size_t>(n), 0.0);
+    for (int k = 0; k < n; ++k) {
+      w.overlap[static_cast<size_t>(k)] =
+          k == i ? rng->Uniform(0, 0.5) : rng->Uniform(0, 1);
+    }
+  }
+  std::vector<TargetModelInfo> infos(
+      static_cast<size_t>(m), TargetModelInfo{gi.cost.get(), 1, 64 * kKiB});
+  gi.model = std::make_unique<TargetModel>(infos, LvmLayoutModel(64 * kKiB));
+  gi.nlp.num_objects = n;
+  gi.nlp.num_targets = m;
+  gi.nlp.object_sizes.assign(static_cast<size_t>(n), kGiB);
+  gi.nlp.target_capacities.assign(static_cast<size_t>(m), 50 * kGiB);
+  const TargetModel* model = gi.model.get();
+  const WorkloadSet* ws = gi.workloads.get();
+  gi.nlp.target_utilization = [model, ws](const Layout& l, int j) {
+    return model->TargetUtilization(*ws, l, j);
+  };
+  gi.nlp.make_column_eval = [model, ws](int j) {
+    return model->MakeColumnEvaluator(*ws, j);
+  };
+  return gi;
+}
+
+class GradientProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GradientProperty, AnalyticMatchesDirectionalDifferences) {
+  // The analytic Jacobian entry ∂µ_j/∂L_ij must be a valid (sub)gradient of
+  // the piecewise-smooth utilization: at smooth points it matches the
+  // central difference; at kinks (interpolation cell boundaries, Transform
+  // branch switches, the run ≥ 1 clamp) it must lie inside the interval
+  // spanned by the one-sided slopes.
+  Rng rng(GetParam());
+  const int n = 4 + static_cast<int>(rng.UniformInt(uint64_t{5}));
+  const int m = 2 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+  GradientInstance gi = MakeGradientInstance(n, m, &rng);
+
+  Layout layout(n, m);
+  for (int i = 0; i < n; ++i) {
+    double* row = layout.Row(i);
+    for (int j = 0; j < m; ++j) row[j] = rng.Uniform(0, 1);
+    ProjectToSimplex(row, static_cast<size_t>(m));
+    // Zero an entry now and then so absent-object limits get exercised.
+    if (rng.Uniform() < 0.5) row[rng.UniformInt(static_cast<uint64_t>(m - 1))] = 0.0;
+  }
+
+  std::vector<double> grad(static_cast<size_t>(n) * static_cast<size_t>(m));
+  ASSERT_TRUE(gi.nlp.Gradient(layout, grad.data()));
+
+  const double h = 1e-6;
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0; i < n; ++i) {
+      const double g =
+          grad[static_cast<size_t>(i) * static_cast<size_t>(m) +
+               static_cast<size_t>(j)];
+      const double v = layout.At(i, j);
+      const double mu0 = gi.nlp.target_utilization(layout, j);
+      double d_plus = 0.0, d_minus = 0.0;
+      bool have_minus = false;
+      {
+        layout.Set(i, j, v + h);
+        d_plus = (gi.nlp.target_utilization(layout, j) - mu0) / h;
+        layout.Set(i, j, v);
+      }
+      if (v >= h) {
+        layout.Set(i, j, v - h);
+        d_minus = (mu0 - gi.nlp.target_utilization(layout, j)) / h;
+        layout.Set(i, j, v);
+        have_minus = true;
+      }
+      const double lo = have_minus ? std::min(d_plus, d_minus) : d_plus;
+      const double hi = have_minus ? std::max(d_plus, d_minus) : d_plus;
+      const double scale =
+          std::max({1.0, std::fabs(lo), std::fabs(hi), std::fabs(g)});
+      EXPECT_GE(g, lo - 1e-3 * scale)
+          << "i=" << i << " j=" << j << " v=" << v << " d+=" << d_plus
+          << " d-=" << (have_minus ? d_minus : d_plus);
+      EXPECT_LE(g, hi + 1e-3 * scale)
+          << "i=" << i << " j=" << j << " v=" << v << " d+=" << d_plus
+          << " d-=" << (have_minus ? d_minus : d_plus);
+    }
+  }
+}
+
+TEST_P(GradientProperty, BatchedValueMatchesScalarUtilization) {
+  // The SoA-batched Evaluate must price µ_j within FP-reassociation noise
+  // of the scalar TargetUtilization — same statistics, different summation
+  // order.
+  Rng rng(GetParam() + 1000);
+  const int n = 4 + static_cast<int>(rng.UniformInt(uint64_t{6}));
+  const int m = 2 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+  GradientInstance gi = MakeGradientInstance(n, m, &rng);
+
+  for (int trial = 0; trial < 4; ++trial) {
+    Layout layout(n, m);
+    for (int i = 0; i < n; ++i) {
+      double* row = layout.Row(i);
+      for (int j = 0; j < m; ++j) row[j] = rng.Uniform(0, 1);
+      ProjectToSimplex(row, static_cast<size_t>(m));
+      if (rng.Uniform() < 0.5) {
+        row[rng.UniformInt(static_cast<uint64_t>(m - 1))] = 0.0;
+      }
+    }
+    for (int j = 0; j < m; ++j) {
+      auto ctx = gi.nlp.make_column_eval(j);
+      ASSERT_TRUE(ctx != nullptr && ctx->SupportsGradient());
+      const double batched = ctx->Evaluate(layout);
+      const double scalar = gi.nlp.target_utilization(layout, j);
+      EXPECT_NEAR(batched, scalar, 1e-9 * std::max(1.0, std::fabs(scalar)))
+          << "j=" << j << " trial=" << trial;
+      EXPECT_GT(ctx->interp_queries(), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GradientProperty,
+                         ::testing::Range(uint64_t{40}, uint64_t{48}));
 
 }  // namespace
 }  // namespace ldb

@@ -238,6 +238,7 @@ TEST(SolverThreadingTest, BitIdenticalAcrossThreadCounts) {
   bool have_reference = false;
   for (int threads : {1, 2, 8}) {
     SolverOptions o = FastOptions();
+    o.gradient_mode = GradientMode::kFd;  // this test pins the FD engine
     o.num_threads = threads;
     ProjectedGradientSolver solver(o);
     auto r = solver.Solve(mp.nlp, seed);
@@ -258,6 +259,42 @@ TEST(SolverThreadingTest, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(SolverThreadingTest, AnalyticBitIdenticalAcrossThreadCounts) {
+  // The analytic engine's gradient sweep fans one fused kernel pass per
+  // column over the pool; entries land in disjoint dmu spans and all
+  // reductions are serial, so the whole solve must be invariant in the
+  // thread count — layout, objective, and every effort counter.
+  const int n = 12, m = 6;
+  ModelProblem mp = MakeModelProblem(n, m, 17);
+  const Layout seed = Layout::StripeEverythingEverywhere(n, m);
+
+  SolverResult reference;
+  bool have_reference = false;
+  for (int threads : {1, 2, 8}) {
+    SolverOptions o = FastOptions();  // analytic is the default mode
+    o.num_threads = threads;
+    ProjectedGradientSolver solver(o);
+    auto r = solver.Solve(mp.nlp, seed);
+    ASSERT_TRUE(r.ok()) << "threads=" << threads;
+    if (!have_reference) {
+      reference = std::move(r).value();
+      have_reference = true;
+      EXPECT_GT(reference.gradient_evaluations, 0);
+      EXPECT_EQ(reference.incremental_evaluations, 0);
+      EXPECT_GT(reference.interp_queries, 0);
+      continue;
+    }
+    EXPECT_TRUE(r->layout == reference.layout) << "threads=" << threads;
+    EXPECT_EQ(r->max_utilization, reference.max_utilization)
+        << "threads=" << threads;
+    EXPECT_EQ(r->iterations, reference.iterations);
+    EXPECT_EQ(r->objective_evaluations, reference.objective_evaluations);
+    EXPECT_EQ(r->gradient_evaluations, reference.gradient_evaluations);
+    EXPECT_EQ(r->interp_queries, reference.interp_queries);
+    EXPECT_EQ(r->feasible, reference.feasible);
+  }
+}
+
 TEST(SolverThreadingTest, BitIdenticalWithoutCacheToo) {
   // The fallback (black-box µ_j) path must also be thread-count invariant.
   const int n = 10, m = 4;
@@ -265,6 +302,7 @@ TEST(SolverThreadingTest, BitIdenticalWithoutCacheToo) {
   const Layout seed = Layout::StripeEverythingEverywhere(n, m);
 
   SolverOptions o = FastOptions();
+  o.gradient_mode = GradientMode::kFd;  // pin the black-box fallback
   o.use_incremental_cache = false;
   o.num_threads = 1;
   auto serial = ProjectedGradientSolver(o).Solve(mp.nlp, seed);
@@ -366,7 +404,8 @@ TEST(EngineTest, CacheCutsFullEvaluationsAndAgreesWithBaseline) {
   for (int i = 0; i < n; ++i) seed.SetRowRegular(i, {0});
 
   SolverOptions on = FastOptions();
-  SolverOptions off = FastOptions();
+  on.gradient_mode = GradientMode::kFd;  // compare the two FD engines
+  SolverOptions off = on;
   off.use_incremental_cache = false;
   auto cached = ProjectedGradientSolver(on).Solve(mp.nlp, seed);
   auto baseline = ProjectedGradientSolver(off).Solve(mp.nlp, seed);
@@ -391,6 +430,54 @@ TEST(EngineTest, CacheCutsFullEvaluationsAndAgreesWithBaseline) {
   // same quality (FD rounding differs, so exact equality is not required).
   EXPECT_NEAR(cached->max_utilization, baseline->max_utilization,
               0.05 * std::max(1.0, std::fabs(baseline->max_utilization)));
+}
+
+TEST(EngineTest, AnalyticAgreesWithFdAndDropsPerturbations) {
+  // Differential test for the analytic-gradient engine: a full solve in
+  // each mode from the same unbalanced seed must converge to layouts of
+  // equal quality, while the analytic mode replaces the 2·N·M per-step
+  // perturbations (incremental evaluations) with M fused gradient passes.
+  const int n = 12, m = 6;
+  ModelProblem mp = MakeModelProblem(n, m, 29);
+  Layout seed(n, m);
+  for (int i = 0; i < n; ++i) seed.SetRowRegular(i, {0});
+
+  // Full default annealing schedule: under the fast test schedule the two
+  // engines stop mid-descent at slightly different points; at convergence
+  // they must agree tightly.
+  SolverOptions analytic;  // kAnalytic is the default
+  SolverOptions fd;
+  fd.gradient_mode = GradientMode::kFd;
+  auto a = ProjectedGradientSolver(analytic).Solve(mp.nlp, seed);
+  auto f = ProjectedGradientSolver(fd).Solve(mp.nlp, seed);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(f.ok());
+
+  EXPECT_GT(a->gradient_evaluations, 0);
+  EXPECT_EQ(a->incremental_evaluations, 0);
+  EXPECT_GT(f->incremental_evaluations, 0);
+  EXPECT_EQ(f->gradient_evaluations, 0);
+  ASSERT_GT(a->iterations, 0);
+  // Equal converged quality. The objective is nonconvex (interference
+  // couples columns), so the exact and FD gradients can descend into
+  // different basins — pointwise gradient agreement to 1e-6 is what the
+  // GradientProperty suite asserts; here the solves must land within
+  // basin-hopping noise of each other.
+  EXPECT_NEAR(a->max_utilization, f->max_utilization,
+              0.02 * std::max(1.0, std::fabs(f->max_utilization)));
+  EXPECT_EQ(a->feasible, f->feasible);
+  // Reported quality must be the honest scalar recomputation at the
+  // returned layout, not a batched-path approximation.
+  double true_max = 0.0;
+  for (int j = 0; j < m; ++j) {
+    true_max = std::max(true_max, mp.nlp.target_utilization(a->layout, j));
+  }
+  EXPECT_NEAR(a->max_utilization, true_max,
+              1e-9 * std::max(1.0, std::fabs(true_max)));
+  // Per-phase profile: every phase that ran reported wall time.
+  EXPECT_EQ(a->profile.gradient.calls, a->iterations);
+  EXPECT_GT(a->profile.line_search.calls, 0);
+  EXPECT_GT(a->profile.refresh.calls, 0);
 }
 
 }  // namespace

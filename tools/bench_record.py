@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Append bench --json results to a perf-trajectory file.
+
+The benches emit a JSON array of result rows (``--json`` to stdout,
+``--json=<path>`` to a file). This script wraps one such array together
+with the bench name, the git revision, and a UTC timestamp, and appends
+the entry to a trajectory file (default ``BENCH_solver.json``) that is
+checked in — so solver speedups are tracked across PRs instead of being
+re-measured from scratch whenever someone asks "did we regress?".
+
+Usage:
+    ./build/bench/bench_fig19_opttime --row=4xconsolidation \
+        --skip-baseline --json | tools/bench_record.py \
+        --bench bench_fig19_opttime
+    tools/bench_record.py --bench bench_micro --input micro.json \
+        --note "after trilinear kernel specialization"
+
+The trajectory file is a JSON array of entries:
+    {"bench": ..., "recorded_utc": ..., "git_rev": ...,
+     "note": ...,  # optional
+     "rows": [...]}  # the bench's rows, verbatim
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def git_rev():
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def extract_rows(text):
+    """Parses the bench's JSON row array, tolerating the human-readable
+    table the benches print before it when --json targets stdout (the
+    table itself contains brackets — [ok], [unmatched] — so only
+    line-initial '[' positions are candidate array starts)."""
+    pos = 0
+    candidates = []
+    for line in text.splitlines(keepends=True):
+        if line.lstrip().startswith(("[", "{")):
+            stripped = line.lstrip()
+            candidates.append(pos + len(line) - len(stripped))
+        pos += len(line)
+    for start in reversed(candidates):
+        try:
+            rows = json.loads(text[start:])
+        except json.JSONDecodeError:
+            continue
+        if isinstance(rows, list):
+            return rows
+        # Google Benchmark --benchmark_format=json (bench_micro): an
+        # object whose "benchmarks" array holds the per-kernel rows.
+        if isinstance(rows, dict) and isinstance(rows.get("benchmarks"),
+                                                 list):
+            return rows["benchmarks"]
+    raise ValueError("no JSON array found in input")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="append bench --json output to a perf-trajectory file")
+    parser.add_argument("--bench", required=True,
+                        help="bench name, e.g. bench_fig19_opttime")
+    parser.add_argument("--input", default="-",
+                        help="bench JSON output (default: stdin)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_solver.json"),
+                        help="trajectory file to append to")
+    parser.add_argument("--note", default=None,
+                        help="optional free-form context for this entry")
+    args = parser.parse_args()
+
+    text = (sys.stdin.read() if args.input == "-"
+            else Path(args.input).read_text())
+    rows = extract_rows(text)
+
+    out_path = Path(args.out)
+    trajectory = []
+    if out_path.exists():
+        trajectory = json.loads(out_path.read_text())
+        if not isinstance(trajectory, list):
+            raise SystemExit(f"{out_path} is not a JSON array")
+
+    entry = {
+        "bench": args.bench,
+        "recorded_utc": datetime.datetime.now(datetime.timezone.utc)
+            .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "git_rev": git_rev(),
+        "rows": rows,
+    }
+    if args.note:
+        entry["note"] = args.note
+    trajectory.append(entry)
+    out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"recorded {len(rows)} row(s) from {args.bench} -> {out_path}")
+
+
+if __name__ == "__main__":
+    main()
