@@ -410,6 +410,95 @@ void BM_TargetModelColumnGradient(benchmark::State& state) {
 }
 BENCHMARK(BM_TargetModelColumnGradient)->Arg(20)->Arg(40)->Arg(160);
 
+/// Tenant-banded workloads: each object overlaps only its `neighbors`
+/// ring neighbours, converted to the CSR representation (dense cleared).
+WorkloadSet MakeSparseWorkloads(int n, int neighbors, Rng* rng) {
+  WorkloadSet ws(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    WorkloadDesc& w = ws[static_cast<size_t>(i)];
+    w.read_rate = rng->Uniform(1, 200);
+    w.read_size = 64 * kKiB;
+    w.write_rate = rng->Uniform(0, 20);
+    w.write_size = 64 * kKiB;
+    w.run_count = rng->Uniform(1, 100);
+    w.overlap.assign(static_cast<size_t>(n), 0.0);
+    w.overlap[static_cast<size_t>(i)] = rng->Uniform(0, 1.5);
+    for (int d = 1; d <= neighbors / 2; ++d) {
+      w.overlap[static_cast<size_t>((i + d) % n)] = rng->Uniform(0.05, 1);
+      w.overlap[static_cast<size_t>((i - d + n) % n)] = rng->Uniform(0.05, 1);
+    }
+  }
+  SparsifyOverlap(&ws);
+  return ws;
+}
+
+void BM_DenseInterferenceDot(benchmark::State& state) {
+  // The raw interference kernel under the dense representation: one
+  // overlap-row · presence-vector dot per object, O(N) each, O(N²) per
+  // column evaluation.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  std::vector<double> row(static_cast<size_t>(n)), x(static_cast<size_t>(n));
+  for (auto& v : row) v = rng.Uniform(0, 1);
+  for (auto& v : x) v = rng.Uniform(0, 1);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int k = 0; k < n; ++k) {
+      acc += row[static_cast<size_t>(k)] * x[static_cast<size_t>(k)];
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DenseInterferenceDot)->Arg(160)->Arg(1000)->Arg(10000);
+
+void BM_SparseInterferenceDot(benchmark::State& state) {
+  // Same dot against a CSR row with 16 stored entries: the fleet-scale
+  // representation, O(nnz) regardless of N.
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kNnz = 16;
+  Rng rng(6);
+  std::vector<int32_t> index;
+  std::vector<double> value, x(static_cast<size_t>(n));
+  for (int e = 0; e < kNnz; ++e) {
+    index.push_back(static_cast<int32_t>(
+        rng.UniformInt(static_cast<uint64_t>(n))));
+    value.push_back(rng.Uniform(0, 1));
+  }
+  for (auto& v : x) v = rng.Uniform(0, 1);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (size_t e = 0; e < index.size(); ++e) {
+      acc += value[e] * x[static_cast<size_t>(index[e])];
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * kNnz);
+}
+BENCHMARK(BM_SparseInterferenceDot)->Arg(160)->Arg(1000)->Arg(10000);
+
+void BM_TargetModelColumnGradientSparse(benchmark::State& state) {
+  // The analytic gradient pass over CSR workloads (ring band, 16 stored
+  // neighbours per row). Compare against BM_TargetModelColumnGradient:
+  // dense scales O(N²) per column, sparse O(N·nnz).
+  const int n = static_cast<int>(state.range(0));
+  const int m = 4;
+  Rng rng(3);
+  WorkloadSet ws = MakeSparseWorkloads(n, 16, &rng);
+  std::vector<TargetModelInfo> infos(
+      static_cast<size_t>(m),
+      TargetModelInfo{&SharedCostModel(), 1, 64 * kKiB});
+  TargetModel model(infos, LvmLayoutModel(64 * kKiB));
+  Layout layout = Layout::StripeEverythingEverywhere(n, m);
+  auto ctx = model.MakeColumnEvaluator(ws, 0);
+  std::vector<double> grad(static_cast<size_t>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx->EvaluateWithGradient(layout, grad.data()));
+    benchmark::DoNotOptimize(grad.data());
+  }
+}
+BENCHMARK(BM_TargetModelColumnGradientSparse)->Arg(160)->Arg(640)->Arg(2560);
+
 void BM_SimplexProjection(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   Rng rng(4);

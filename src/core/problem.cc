@@ -21,12 +21,11 @@ Status LayoutProblem::Validate() const {
       return Status::InvalidArgument(
           StrFormat("object %zu has non-positive size", i));
     }
-    if (!IsValidWorkload(workloads[i], n, i)) {
-      return Status::InvalidArgument(
-          StrFormat("object %zu has an invalid workload description", i));
-    }
     total_size += object_sizes[i];
   }
+  // Clause-indexed per-workload diagnostics (dense and sparse overlap
+  // invariants both checked here).
+  LDB_RETURN_IF_ERROR(ValidateWorkloadSet(workloads));
   int64_t total_capacity = 0;
   for (const AdvisorTarget& t : targets) {
     if (t.capacity_bytes <= 0 || t.num_members <= 0 || t.stripe_bytes <= 0) {

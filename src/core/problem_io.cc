@@ -507,15 +507,18 @@ std::string FormatProblemText(const LayoutProblem& problem) {
   // directions (the format is symmetric); self-overlaps get their own line.
   for (int i = 0; i < n; ++i) {
     const WorkloadDesc& wi = problem.workloads[static_cast<size_t>(i)];
-    if (wi.overlap[static_cast<size_t>(i)] > 0) {
+    // overlap_with() reads either representation (sparse rows have no
+    // dense vector to index at fleet scale).
+    if (wi.overlap_with(static_cast<size_t>(i)) > 0) {
       out += StrFormat("self_overlap %s %.6g\n",
                        SanitizeName(problem.object_names[static_cast<size_t>(i)]).c_str(),
-                       wi.overlap[static_cast<size_t>(i)]);
+                       wi.overlap_with(static_cast<size_t>(i)));
     }
     for (int k = i + 1; k < n; ++k) {
-      const double a = wi.overlap[static_cast<size_t>(k)];
+      const double a = wi.overlap_with(static_cast<size_t>(k));
       const double b =
-          problem.workloads[static_cast<size_t>(k)].overlap[static_cast<size_t>(i)];
+          problem.workloads[static_cast<size_t>(k)].overlap_with(
+              static_cast<size_t>(i));
       const double mean = (a + b) / 2.0;
       if (mean > 1e-9) {
         out += StrFormat(

@@ -61,14 +61,25 @@ double TargetModel::TargetUtilizationInternal(
     // directly (it does not dilute with striping: the streams follow the
     // object onto every target).
     double interfering = 0.0;
-    for (int k = 0; k < n; ++k) {
-      if (k == i) continue;
-      const double rate_kj = per[static_cast<size_t>(k)].total_rate();
-      if (rate_kj <= kRateEpsilon) continue;
-      interfering += rate_kj * wi.overlap[static_cast<size_t>(k)];
+    if (wi.has_sparse_overlap()) {
+      const size_t nnz = wi.overlap_index.size();
+      for (size_t s = 0; s < nnz; ++s) {
+        const int k = wi.overlap_index[s];
+        if (k == i) continue;
+        const double rate_kj = per[static_cast<size_t>(k)].total_rate();
+        if (rate_kj <= kRateEpsilon) continue;
+        interfering += rate_kj * wi.overlap_value[s];
+      }
+    } else {
+      for (int k = 0; k < n; ++k) {
+        if (k == i) continue;
+        const double rate_kj = per[static_cast<size_t>(k)].total_rate();
+        if (rate_kj <= kRateEpsilon) continue;
+        interfering += rate_kj * wi.overlap[static_cast<size_t>(k)];
+      }
     }
     const double chi =
-        interfering / rate_ij + wi.overlap[static_cast<size_t>(i)];
+        interfering / rate_ij + wi.overlap_with(static_cast<size_t>(i));
 
     const double mu_ij = PerObjectUtilization(tgt, wij, chi);
     if (mu_i != nullptr) (*mu_i)[static_cast<size_t>(i)] = mu_ij;
@@ -202,6 +213,8 @@ class TargetColumnContext final : public ColumnEvaluator {
     const int n = layout.num_objects();
     const size_t un = static_cast<size_t>(n);
     const TargetModelInfo& tgt = model_->target_info(j_);
+    EnsureOverlapCache(un);
+    if (any_sparse_) EnsureTranspose(un);
     per_.resize(un);
     rate_.resize(un);
     interfering_.resize(un);
@@ -229,11 +242,22 @@ class TargetColumnContext final : public ColumnEvaluator {
       // the solver perturbs their fraction away from zero and then needs
       // their χ without an O(N) rescan.
       double interfering = 0.0;
-      for (int k = 0; k < n; ++k) {
-        if (k == i) continue;
-        const double rate_kj = rate_[static_cast<size_t>(k)];
-        if (rate_kj <= 0.0) continue;
-        interfering += rate_kj * wi.overlap[static_cast<size_t>(k)];
+      if (wi.has_sparse_overlap()) {
+        const size_t nnz = wi.overlap_index.size();
+        for (size_t s = 0; s < nnz; ++s) {
+          const int k = wi.overlap_index[s];
+          if (k == i) continue;
+          const double rate_kj = rate_[static_cast<size_t>(k)];
+          if (rate_kj <= 0.0) continue;
+          interfering += rate_kj * wi.overlap_value[s];
+        }
+      } else {
+        for (int k = 0; k < n; ++k) {
+          if (k == i) continue;
+          const double rate_kj = rate_[static_cast<size_t>(k)];
+          if (rate_kj <= 0.0) continue;
+          interfering += rate_kj * wi.overlap[static_cast<size_t>(k)];
+        }
       }
       interfering_[ui] = interfering;
       if (rate_[ui] <= 0.0) {
@@ -242,7 +266,7 @@ class TargetColumnContext final : public ColumnEvaluator {
         mu_seg_lo_[ui] = mu_seg_hi_[ui] = 0.0;
         continue;
       }
-      const double chi = interfering / rate_[ui] + wi.overlap[ui];
+      const double chi = interfering / rate_[ui] + diag_[ui];
       mu_[ui] = model_->PerObjectUtilization(tgt, per_[ui], chi);
       mu_j_ += mu_[ui];
       CacheChiSegment(tgt, ui, chi);
@@ -266,7 +290,7 @@ class TargetColumnContext final : public ColumnEvaluator {
     // with the fraction, so this term needs real cost-table lookups.
     double mu = mu_j_ - mu_[ui];
     if (ri > 0.0) {
-      const double chi = interfering_[ui] / ri + wi.overlap[ui];
+      const double chi = interfering_[ui] / ri + diag_[ui];
       mu += model_->PerObjectUtilization(tgt, wij, chi);
     }
 
@@ -276,20 +300,15 @@ class TargetColumnContext final : public ColumnEvaluator {
     // when the perturbation crosses a grid cell.
     const double delta = ri - rate_[ui];
     if (delta != 0.0) {
-      for (int k = 0; k < n; ++k) {
-        if (k == i) continue;
-        const size_t uk = static_cast<size_t>(k);
+      // Repriced delta of object k's term given its overlap-with-i weight.
+      auto repriced_delta = [&](size_t uk, double o) -> double {
         const double rk = rate_[uk];
-        if (rk <= 0.0) continue;
-        const WorkloadDesc& wk = (*workloads_)[uk];
-        const double o = wk.overlap[ui];
-        if (o == 0.0) continue;
+        if (rk <= 0.0 || o == 0.0) return 0.0;
         // max(0, ·): when object i is k's only interferer and delta takes
         // its rate to zero, the sum cancels to rounding residue that can
         // dip below 0 — which the cost tables reject as a domain error.
         const double chi =
-            std::max(0.0, (interfering_[uk] + delta * o) / rk) +
-            wk.overlap[uk];
+            std::max(0.0, (interfering_[uk] + delta * o) / rk) + diag_[uk];
         double mu_k;
         if (chi >= seg_lo_[uk] && chi <= seg_hi_[uk]) {
           mu_k = mu_seg_lo_[uk] == mu_seg_hi_[uk]
@@ -300,7 +319,22 @@ class TargetColumnContext final : public ColumnEvaluator {
         } else {
           mu_k = model_->PerObjectUtilization(tgt, per_[uk], chi);
         }
-        mu += mu_k - mu_[uk];
+        return mu_k - mu_[uk];
+      };
+      if (any_sparse_) {
+        // Column access O_k[i] via the transposed overlap structure:
+        // ascending k with zero entries dropped — the same terms the dense
+        // loop's `o == 0` filter keeps, in the same order.
+        for (size_t s = tr_begin_[ui]; s < tr_begin_[ui + 1]; ++s) {
+          const size_t uk = static_cast<size_t>(tr_src_[s]);
+          mu += repriced_delta(uk, tr_val_[s]);
+        }
+      } else {
+        for (int k = 0; k < n; ++k) {
+          if (k == i) continue;
+          const size_t uk = static_cast<size_t>(k);
+          mu += repriced_delta(uk, (*workloads_)[uk].overlap[ui]);
+        }
       }
     }
     return mu;
@@ -343,6 +377,57 @@ class TargetColumnContext final : public ColumnEvaluator {
   int64_t interp_queries() const override { return queries_; }
 
  private:
+  /// Caches every object's overlap diagonal O_i[i] and whether any row uses
+  /// the sparse representation. Workloads are fixed for a context's
+  /// lifetime, so this runs once.
+  void EnsureOverlapCache(size_t un) {
+    if (diag_.size() == un) return;
+    any_sparse_ = false;
+    diag_.resize(un);
+    for (size_t i = 0; i < un; ++i) {
+      const WorkloadDesc& w = (*workloads_)[i];
+      any_sparse_ = any_sparse_ || w.has_sparse_overlap();
+      diag_[i] = w.overlap_with(i);
+    }
+  }
+
+  /// Builds the transposed overlap structure (per column i: the source rows
+  /// k ≠ i with O_k[i] ≠ 0, ascending) used by WithObject's cross loop when
+  /// any row is sparse — a CSR row gives O_i[k] contiguously, but that loop
+  /// needs the column O_k[i]. Dense rows contribute their nonzeros too so
+  /// mixed sets work. Built once per context.
+  void EnsureTranspose(size_t un) {
+    if (tr_begin_.size() == un + 1) return;
+    tr_begin_.assign(un + 1, 0);
+    auto for_each_entry = [&](size_t k, auto&& fn) {
+      const WorkloadDesc& w = (*workloads_)[k];
+      if (w.has_sparse_overlap()) {
+        for (size_t s = 0; s < w.overlap_index.size(); ++s) {
+          const size_t i = static_cast<size_t>(w.overlap_index[s]);
+          if (i != k && w.overlap_value[s] != 0.0) fn(i, w.overlap_value[s]);
+        }
+      } else {
+        for (size_t i = 0; i < w.overlap.size(); ++i) {
+          if (i != k && w.overlap[i] != 0.0) fn(i, w.overlap[i]);
+        }
+      }
+    };
+    for (size_t k = 0; k < un; ++k) {
+      for_each_entry(k, [&](size_t i, double) { ++tr_begin_[i + 1]; });
+    }
+    for (size_t i = 0; i < un; ++i) tr_begin_[i + 1] += tr_begin_[i];
+    tr_src_.resize(tr_begin_[un]);
+    tr_val_.resize(tr_begin_[un]);
+    std::vector<size_t> cursor(tr_begin_.begin(), tr_begin_.end() - 1);
+    for (size_t k = 0; k < un; ++k) {
+      for_each_entry(k, [&](size_t i, double v) {
+        tr_src_[cursor[i]] = static_cast<int32_t>(k);
+        tr_val_[cursor[i]] = v;
+        ++cursor[i];
+      });
+    }
+  }
+
   /// Caches the χ-segment of object `ui`'s µ as (lo, hi, µ(lo), µ(hi)).
   /// Beyond the axis ends lookups clamp, so those segments are flat.
   void CacheChiSegment(const TargetModelInfo& tgt, size_t ui, double chi) {
@@ -468,6 +553,7 @@ class TargetColumnContext final : public ColumnEvaluator {
     const int n = layout.num_objects();
     const size_t un = static_cast<size_t>(n);
     const TargetModelInfo& tgt = model_->target_info(j_);
+    EnsureOverlapCache(un);
     if (tmpl_begin_.size() != un + 1) BuildQueryTemplate(tgt, un);
 
     bper_.resize(un);
@@ -493,21 +579,43 @@ class TargetColumnContext final : public ColumnEvaluator {
         binterf_[i] = 0.0;
         continue;
       }
-      const double* o = (*workloads_)[i].overlap.data();
+      const WorkloadDesc& wi = (*workloads_)[i];
       // Four fixed-order accumulator lanes: reassociates the sum the same
       // way on every run and thread count, and gives the compiler
-      // independent chains to turn into vector FMAs.
+      // independent chains to turn into vector FMAs (the sparse row's
+      // rate gathers included).
       double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-      size_t k = 0;
-      for (; k + 4 <= un; k += 4) {
-        acc0 += rate[k] * o[k];
-        acc1 += rate[k + 1] * o[k + 1];
-        acc2 += rate[k + 2] * o[k + 2];
-        acc3 += rate[k + 3] * o[k + 3];
+      double dot;
+      if (wi.has_sparse_overlap()) {
+        const int32_t* idx = wi.overlap_index.data();
+        const double* val = wi.overlap_value.data();
+        const size_t nnz = wi.overlap_index.size();
+        size_t s = 0;
+        for (; s + 4 <= nnz; s += 4) {
+          acc0 += rate[idx[s]] * val[s];
+          acc1 += rate[idx[s + 1]] * val[s + 1];
+          acc2 += rate[idx[s + 2]] * val[s + 2];
+          acc3 += rate[idx[s + 3]] * val[s + 3];
+        }
+        dot = (acc0 + acc1) + (acc2 + acc3);
+        for (; s < nnz; ++s) dot += rate[idx[s]] * val[s];
+      } else {
+        const double* o = wi.overlap.data();
+        size_t k = 0;
+        for (; k + 4 <= un; k += 4) {
+          acc0 += rate[k] * o[k];
+          acc1 += rate[k + 1] * o[k + 1];
+          acc2 += rate[k + 2] * o[k + 2];
+          acc3 += rate[k + 3] * o[k + 3];
+        }
+        dot = (acc0 + acc1) + (acc2 + acc3);
+        for (; k < un; ++k) dot += rate[k] * o[k];
       }
-      double dot = (acc0 + acc1) + (acc2 + acc3);
-      for (; k < un; ++k) dot += rate[k] * o[k];
-      binterf_[i] = dot - rate[i] * o[i];
+      // Both representations carry the diagonal; subtracting it afterwards
+      // keeps the lane assignment independent of where it sits in the row.
+      // The short sparse sums can leave a tiny negative residue after the
+      // cancellation — clamp it so χ never goes below the diagonal.
+      binterf_[i] = std::max(0.0, dot - rate[i] * diag_[i]);
     }
 
     // Gather the pass's cost queries, split by lookup table.
@@ -519,13 +627,13 @@ class TargetColumnContext final : public ColumnEvaluator {
       double chi;
       if (rate[i] > 0.0) {
         run = bper_[i].run_count;
-        chi = binterf_[i] / rate[i] + wi.overlap[i];
+        chi = binterf_[i] / rate[i] + diag_[i];
       } else if (grad != nullptr) {
         // Fraction → 0+ limit: the rates vanish linearly, so ∂µ_ij/∂L_ij
         // tends to λ^R·mcR + λ^W·mcW priced at the limiting run count and
         // contention factor.
         run = LimitRunCount(wi);
-        chi = binterf_[i] > 0.0 ? kClampedChi : wi.overlap[i];
+        chi = binterf_[i] > 0.0 ? kClampedChi : diag_[i];
       } else {
         continue;  // absent objects contribute nothing to the value
       }
@@ -614,14 +722,24 @@ class TargetColumnContext final : public ColumnEvaluator {
 
     // Cross terms for every i at once: Σ_k c_k·O_k[i] is a transposed
     // overlap·c product; accumulating row-by-row keeps the inner loop
-    // contiguous (one fused multiply-add per element).
+    // contiguous for dense rows (one fused multiply-add per element) and a
+    // fixed-order scatter over sparse rows — k ascending, then row order,
+    // so the accumulation order never depends on thread count.
     bcross_.assign(un, 0.0);
     double* cross = bcross_.data();
     for (size_t k = 0; k < un; ++k) {
       const double c = ck_[k];
       if (c == 0.0) continue;
-      const double* o = (*workloads_)[k].overlap.data();
-      for (size_t i = 0; i < un; ++i) cross[i] += c * o[i];
+      const WorkloadDesc& wk = (*workloads_)[k];
+      if (wk.has_sparse_overlap()) {
+        const int32_t* idx = wk.overlap_index.data();
+        const double* val = wk.overlap_value.data();
+        const size_t nnz = wk.overlap_index.size();
+        for (size_t s = 0; s < nnz; ++s) cross[idx[s]] += c * val[s];
+      } else {
+        const double* o = wk.overlap.data();
+        for (size_t i = 0; i < un; ++i) cross[i] += c * o[i];
+      }
     }
 
     for (size_t i = 0; i < un; ++i) {
@@ -629,7 +747,7 @@ class TargetColumnContext final : public ColumnEvaluator {
       const double lam = wi.total_rate();
       double g =
           wi.read_rate * mc_read_[i] + wi.write_rate * mc_write_[i];
-      g += lam * (cross[i] - ck_[i] * wi.overlap[i]);
+      g += lam * (cross[i] - ck_[i] * diag_[i]);
       if (rate[i] > 0.0) {
         const double dq =
             model_->layout_model().TransformRunDerivative(wi, bfrac_[i]);
@@ -648,6 +766,13 @@ class TargetColumnContext final : public ColumnEvaluator {
   const TargetModel* model_;
   const WorkloadSet* workloads_;
   const int j_;
+
+  // Representation caches shared by every pass (built once per context).
+  bool any_sparse_ = false;
+  std::vector<double> diag_;
+  std::vector<size_t> tr_begin_;
+  std::vector<int32_t> tr_src_;
+  std::vector<double> tr_val_;
 
   std::vector<PerTargetWorkload> per_;
   std::vector<double> rate_;

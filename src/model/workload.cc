@@ -1,21 +1,157 @@
 #include "model/workload.h"
 
+#include <algorithm>
+#include <string>
+
+#include "util/table.h"
+
 namespace ldb {
 
-bool IsValidWorkload(const WorkloadDesc& w, size_t n, size_t self_index) {
-  if (w.read_rate < 0 || w.write_rate < 0) return false;
-  if (w.read_size < 0 || w.write_size < 0) return false;
-  if (w.read_rate > 0 && w.read_size <= 0) return false;
-  if (w.write_rate > 0 && w.write_size <= 0) return false;
-  if (w.run_count < 1.0) return false;
-  if (w.overlap.size() != n) return false;
+namespace {
+
+/// Returns an empty string when `w` is consistent, else a short description
+/// of the first violated clause. `n` is the object count; `self_index` the
+/// diagonal position (SIZE_MAX = unknown, skip diagonal-specific checks).
+std::string WorkloadViolation(const WorkloadDesc& w, size_t n,
+                              size_t self_index) {
+  if (w.read_rate < 0 || w.write_rate < 0) return "negative request rate";
+  if (w.read_size < 0 || w.write_size < 0) return "negative request size";
+  if (w.read_rate > 0 && w.read_size <= 0)
+    return "read_rate > 0 requires read_size > 0";
+  if (w.write_rate > 0 && w.write_size <= 0)
+    return "write_rate > 0 requires write_size > 0";
+  if (w.run_count < 1.0) return "run_count < 1";
+
+  const bool sparse = w.has_sparse_overlap();
+  if (!sparse && !w.overlap_value.empty())
+    return "overlap_value present without overlap_index";
+  if (w.overlap.empty() && !sparse)
+    return "no overlap row (neither dense nor sparse form present)";
+  if (!w.overlap.empty() && w.overlap.size() != n)
+    return StrFormat("dense overlap size %zu != object count %zu",
+                     w.overlap.size(), n);
   for (size_t k = 0; k < w.overlap.size(); ++k) {
-    if (w.overlap[k] < 0.0) return false;
+    if (w.overlap[k] < 0.0)
+      return StrFormat("dense overlap[%zu] negative", k);
     // Off-diagonal entries are fractions; the diagonal (self-overlap) is a
     // mean concurrent-request count and may exceed 1.
-    if (k != self_index && w.overlap[k] > 1.0) return false;
+    if (k != self_index && w.overlap[k] > 1.0)
+      return StrFormat("dense overlap[%zu] > 1 off the diagonal", k);
   }
-  return true;
+
+  if (sparse) {
+    if (w.overlap_index.size() != w.overlap_value.size())
+      return StrFormat("overlap_index size %zu != overlap_value size %zu",
+                       w.overlap_index.size(), w.overlap_value.size());
+    bool saw_diagonal = false;
+    for (size_t j = 0; j < w.overlap_index.size(); ++j) {
+      const int32_t idx = w.overlap_index[j];
+      if (idx < 0 || static_cast<size_t>(idx) >= n)
+        return StrFormat("overlap_index[%zu] = %d out of range [0, %zu)", j,
+                         static_cast<int>(idx), n);
+      if (j > 0 && idx <= w.overlap_index[j - 1])
+        return StrFormat("overlap_index not sorted at entry %zu", j);
+      const bool diagonal = static_cast<size_t>(idx) == self_index;
+      saw_diagonal = saw_diagonal || diagonal;
+      if (w.overlap_value[j] < 0.0)
+        return StrFormat("overlap_value[%zu] negative", j);
+      if (!diagonal && w.overlap_value[j] > 1.0)
+        return StrFormat("overlap_value[%zu] > 1 off the diagonal", j);
+      if (!w.overlap.empty() &&
+          w.overlap_value[j] != w.overlap[static_cast<size_t>(idx)])
+        return StrFormat(
+            "overlap_value[%zu] disagrees with dense overlap[%d]", j,
+            static_cast<int>(idx));
+    }
+    if (self_index != static_cast<size_t>(-1) && !saw_diagonal)
+      return StrFormat("sparse row missing diagonal entry %zu", self_index);
+  }
+  return std::string();
+}
+
+}  // namespace
+
+double WorkloadDesc::overlap_with(size_t k) const {
+  if (has_sparse_overlap()) {
+    const auto it = std::lower_bound(overlap_index.begin(),
+                                     overlap_index.end(),
+                                     static_cast<int32_t>(k));
+    if (it == overlap_index.end() || static_cast<size_t>(*it) != k)
+      return 0.0;
+    return overlap_value[static_cast<size_t>(it - overlap_index.begin())];
+  }
+  if (k < overlap.size()) return overlap[k];
+  return 0.0;
+}
+
+bool IsValidWorkload(const WorkloadDesc& w, size_t n, size_t self_index) {
+  return WorkloadViolation(w, n, self_index).empty();
+}
+
+Status ValidateWorkloadSet(const WorkloadSet& ws) {
+  const size_t n = ws.size();
+  for (size_t i = 0; i < n; ++i) {
+    const std::string what = WorkloadViolation(ws[i], n, i);
+    if (!what.empty())
+      return Status::InvalidArgument(
+          StrFormat("workload %zu: %s", i, what.c_str()));
+  }
+  return Status::Ok();
+}
+
+void SparsifyOverlap(WorkloadSet* workloads, const SparsifyOptions& options) {
+  const size_t n = workloads->size();
+  // Scratch reused across rows: (value, index) candidates for top-k.
+  std::vector<std::pair<double, int32_t>> kept;
+  for (size_t i = 0; i < n; ++i) {
+    WorkloadDesc& w = (*workloads)[i];
+    if (w.overlap.empty()) continue;  // already sparse-only
+    kept.clear();
+    for (size_t k = 0; k < w.overlap.size(); ++k) {
+      if (k == i) continue;
+      if (w.overlap[k] > options.threshold)
+        kept.emplace_back(w.overlap[k], static_cast<int32_t>(k));
+    }
+    if (options.top_k > 0 &&
+        kept.size() > static_cast<size_t>(options.top_k)) {
+      // Largest values win; ties go to the lower index so the result is
+      // independent of iteration order.
+      std::sort(kept.begin(), kept.end(),
+                [](const std::pair<double, int32_t>& a,
+                   const std::pair<double, int32_t>& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+      kept.resize(static_cast<size_t>(options.top_k));
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const std::pair<double, int32_t>& a,
+                 const std::pair<double, int32_t>& b) {
+                return a.second < b.second;
+              });
+    w.overlap_index.clear();
+    w.overlap_value.clear();
+    w.overlap_index.reserve(kept.size() + 1);
+    w.overlap_value.reserve(kept.size() + 1);
+    bool diagonal_emitted = false;
+    for (const auto& [value, idx] : kept) {
+      if (!diagonal_emitted && static_cast<size_t>(idx) > i) {
+        w.overlap_index.push_back(static_cast<int32_t>(i));
+        w.overlap_value.push_back(w.overlap[i]);
+        diagonal_emitted = true;
+      }
+      w.overlap_index.push_back(idx);
+      w.overlap_value.push_back(value);
+    }
+    if (!diagonal_emitted) {
+      w.overlap_index.push_back(static_cast<int32_t>(i));
+      w.overlap_value.push_back(w.overlap[i]);
+    }
+    if (!options.keep_dense) {
+      w.overlap.clear();
+      w.overlap.shrink_to_fit();
+    }
+  }
 }
 
 }  // namespace ldb

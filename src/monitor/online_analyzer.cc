@@ -250,6 +250,7 @@ WorkloadSet OnlineAnalyzer::Snapshot() const {
     LDB_CHECK(IsValidWorkload(w, static_cast<size_t>(n_),
                               static_cast<size_t>(i)));
   }
+  if (options_.sparse_overlap) SparsifyOverlap(&out, options_.sparsify);
   return out;
 }
 

@@ -179,6 +179,8 @@ Result<WorkloadSet> TraceAnalyzer::Analyze(const IoTrace& trace,
     }
   }
 
+  if (options_.sparse_overlap) SparsifyOverlap(&out, options_.sparsify);
+
   for (int i = 0; i < num_objects; ++i) {
     LDB_CHECK(IsValidWorkload(out[static_cast<size_t>(i)],
                               static_cast<size_t>(num_objects),

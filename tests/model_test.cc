@@ -112,6 +112,120 @@ TEST(WorkloadTest, Validation) {
   EXPECT_FALSE(IsValidWorkload(w, 3));
 }
 
+TEST(WorkloadTest, SparseValidation) {
+  WorkloadDesc w;  // sparse-only row for object 1 of 3
+  w.overlap_index = {0, 1};
+  w.overlap_value = {0.25, 2.0};  // diagonal may exceed 1
+  EXPECT_TRUE(IsValidWorkload(w, 3, 1));
+
+  WorkloadDesc bad = w;
+  bad.overlap_index = {1, 0};  // unsorted
+  bad.overlap_value = {2.0, 0.25};
+  EXPECT_FALSE(IsValidWorkload(bad, 3, 1));
+
+  bad = w;
+  bad.overlap_index = {0, 1, 5};  // out of range
+  bad.overlap_value = {0.25, 2.0, 0.1};
+  EXPECT_FALSE(IsValidWorkload(bad, 3, 1));
+
+  bad = w;
+  bad.overlap_index = {0, 2};  // diagonal (1) missing
+  bad.overlap_value = {0.25, 0.5};
+  EXPECT_FALSE(IsValidWorkload(bad, 3, 1));
+
+  bad = w;
+  bad.overlap_value = {1.5, 2.0};  // off-diagonal fraction > 1
+  EXPECT_FALSE(IsValidWorkload(bad, 3, 1));
+
+  // When both representations are present they must agree entrywise.
+  WorkloadDesc both = w;
+  both.overlap = {0.25, 2.0, 0.0};
+  EXPECT_TRUE(IsValidWorkload(both, 3, 1));
+  both.overlap[0] = 0.3;
+  EXPECT_FALSE(IsValidWorkload(both, 3, 1));
+}
+
+TEST(WorkloadTest, ValidateWorkloadSetPinpointsClause) {
+  WorkloadSet ws(3);
+  for (size_t i = 0; i < 3; ++i) ws[i].overlap.assign(3, 0.1);
+  EXPECT_TRUE(ValidateWorkloadSet(ws).ok());
+
+  ws[1].overlap_index = {2, 0};  // unsorted sparse row on workload 1
+  ws[1].overlap_value = {0.1, 0.1};
+  const Status unsorted = ValidateWorkloadSet(ws);
+  ASSERT_FALSE(unsorted.ok());
+  EXPECT_NE(unsorted.message().find("workload 1"), std::string::npos)
+      << unsorted.message();
+  EXPECT_NE(unsorted.message().find("not sorted"), std::string::npos)
+      << unsorted.message();
+
+  ws[1].overlap_index.clear();
+  ws[1].overlap_value = {0.1};  // values without indices
+  const Status orphan = ValidateWorkloadSet(ws);
+  ASSERT_FALSE(orphan.ok());
+  EXPECT_NE(orphan.message().find("without overlap_index"),
+            std::string::npos)
+      << orphan.message();
+
+  ws[1].overlap_value.clear();
+  ws[2].overlap.clear();  // no overlap row at all
+  const Status missing = ValidateWorkloadSet(ws);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.message().find("workload 2"), std::string::npos)
+      << missing.message();
+  EXPECT_NE(missing.message().find("no overlap row"), std::string::npos)
+      << missing.message();
+}
+
+TEST(WorkloadTest, SparsifyOverlapThresholdZeroKeepsEveryNonzero) {
+  WorkloadSet ws(4);
+  for (size_t i = 0; i < 4; ++i) {
+    ws[i].overlap.assign(4, 0.0);
+    ws[i].overlap[i] = 0.5 * static_cast<double>(i);
+  }
+  ws[0].overlap[2] = 0.3;
+  ws[0].overlap[3] = 0.7;
+  SparsifyOverlap(&ws);
+  // Row 0: diagonal + both nonzeros, sorted; dense form dropped.
+  EXPECT_TRUE(ws[0].overlap.empty());
+  ASSERT_EQ(ws[0].overlap_index, (std::vector<int32_t>{0, 2, 3}));
+  EXPECT_EQ(ws[0].overlap_value, (std::vector<double>{0.0, 0.3, 0.7}));
+  // Row 1: zero off-diagonals leave only the diagonal entry.
+  ASSERT_EQ(ws[1].overlap_index, (std::vector<int32_t>{1}));
+  EXPECT_EQ(ws[1].overlap_value, (std::vector<double>{0.5}));
+  for (size_t i = 0; i < 4; ++i) EXPECT_TRUE(IsValidWorkload(ws[i], 4, i));
+}
+
+TEST(WorkloadTest, SparsifyOverlapTopKAndThreshold) {
+  WorkloadSet ws(5);
+  ws[0].overlap = {2.0, 0.4, 0.1, 0.3, 0.2};
+  for (size_t i = 1; i < 5; ++i) ws[i].overlap.assign(5, 0.0);
+
+  SparsifyOptions options;
+  options.threshold = 0.15;  // drops the 0.1 entry
+  options.top_k = 2;         // keeps the two largest of the rest
+  options.keep_dense = true;
+  SparsifyOverlap(&ws, options);
+  ASSERT_EQ(ws[0].overlap_index, (std::vector<int32_t>{0, 1, 3}));
+  EXPECT_EQ(ws[0].overlap_value, (std::vector<double>{2.0, 0.4, 0.3}));
+  EXPECT_FALSE(ws[0].overlap.empty());  // keep_dense retains the row
+  EXPECT_TRUE(IsValidWorkload(ws[0], 5, 0));
+}
+
+TEST(WorkloadTest, OverlapWithReadsEitherRepresentation) {
+  WorkloadDesc dense;
+  dense.overlap = {0.0, 0.4, 0.0, 0.2};
+  EXPECT_DOUBLE_EQ(dense.overlap_with(1), 0.4);
+  EXPECT_DOUBLE_EQ(dense.overlap_with(2), 0.0);
+
+  WorkloadDesc sparse;
+  sparse.overlap_index = {1, 3};
+  sparse.overlap_value = {0.4, 0.2};
+  EXPECT_DOUBLE_EQ(sparse.overlap_with(1), 0.4);
+  EXPECT_DOUBLE_EQ(sparse.overlap_with(2), 0.0);
+  EXPECT_DOUBLE_EQ(sparse.overlap_with(3), 0.2);
+}
+
 // ----------------------------------------------------------- LayoutModel
 
 TEST(LvmLayoutModelTest, RatesScaleWithFraction) {

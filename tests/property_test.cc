@@ -679,26 +679,11 @@ GradientInstance MakeGradientInstance(int n, int m, Rng* rng) {
 
 class GradientProperty : public ::testing::TestWithParam<uint64_t> {};
 
-TEST_P(GradientProperty, AnalyticMatchesDirectionalDifferences) {
-  // The analytic Jacobian entry ∂µ_j/∂L_ij must be a valid (sub)gradient of
-  // the piecewise-smooth utilization: at smooth points it matches the
-  // central difference; at kinks (interpolation cell boundaries, Transform
-  // branch switches, the run ≥ 1 clamp) it must lie inside the interval
-  // spanned by the one-sided slopes.
-  Rng rng(GetParam());
-  const int n = 4 + static_cast<int>(rng.UniformInt(uint64_t{5}));
-  const int m = 2 + static_cast<int>(rng.UniformInt(uint64_t{3}));
-  GradientInstance gi = MakeGradientInstance(n, m, &rng);
-
-  Layout layout(n, m);
-  for (int i = 0; i < n; ++i) {
-    double* row = layout.Row(i);
-    for (int j = 0; j < m; ++j) row[j] = rng.Uniform(0, 1);
-    ProjectToSimplex(row, static_cast<size_t>(m));
-    // Zero an entry now and then so absent-object limits get exercised.
-    if (rng.Uniform() < 0.5) row[rng.UniformInt(static_cast<uint64_t>(m - 1))] = 0.0;
-  }
-
+/// Subgradient containment sweep shared by the dense and sparse overlap
+/// representations: every analytic Jacobian entry must lie inside the
+/// interval spanned by the one-sided difference slopes.
+void CheckGradientContainment(const GradientInstance& gi, Layout& layout,
+                              int n, int m) {
   std::vector<double> grad(static_cast<size_t>(n) * static_cast<size_t>(m));
   ASSERT_TRUE(gi.nlp.Gradient(layout, grad.data()));
 
@@ -735,6 +720,56 @@ TEST_P(GradientProperty, AnalyticMatchesDirectionalDifferences) {
           << " d-=" << (have_minus ? d_minus : d_plus);
     }
   }
+}
+
+/// Random simplex layout with occasional exact zeros (absent-object limits).
+Layout MakeGradientLayout(int n, int m, Rng* rng) {
+  Layout layout(n, m);
+  for (int i = 0; i < n; ++i) {
+    double* row = layout.Row(i);
+    for (int j = 0; j < m; ++j) row[j] = rng->Uniform(0, 1);
+    ProjectToSimplex(row, static_cast<size_t>(m));
+    if (rng->Uniform() < 0.5) {
+      row[rng->UniformInt(static_cast<uint64_t>(m - 1))] = 0.0;
+    }
+  }
+  return layout;
+}
+
+TEST_P(GradientProperty, AnalyticMatchesDirectionalDifferences) {
+  // The analytic Jacobian entry ∂µ_j/∂L_ij must be a valid (sub)gradient of
+  // the piecewise-smooth utilization: at smooth points it matches the
+  // central difference; at kinks (interpolation cell boundaries, Transform
+  // branch switches, the run ≥ 1 clamp) it must lie inside the interval
+  // spanned by the one-sided slopes.
+  Rng rng(GetParam());
+  const int n = 4 + static_cast<int>(rng.UniformInt(uint64_t{5}));
+  const int m = 2 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+  GradientInstance gi = MakeGradientInstance(n, m, &rng);
+  Layout layout = MakeGradientLayout(n, m, &rng);
+  CheckGradientContainment(gi, layout, n, m);
+}
+
+TEST_P(GradientProperty, SparseAnalyticMatchesDirectionalDifferences) {
+  // Same containment property through the sparse-overlap evaluation path:
+  // off-diagonals are thinned to genuine zeros, rows are converted to CSR
+  // (dropping the dense form), and the analytic Jacobian must still bracket
+  // the one-sided slopes.
+  Rng rng(GetParam());
+  const int n = 4 + static_cast<int>(rng.UniformInt(uint64_t{5}));
+  const int m = 2 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+  GradientInstance gi = MakeGradientInstance(n, m, &rng);
+  for (int i = 0; i < n; ++i) {
+    WorkloadDesc& w = (*gi.workloads)[static_cast<size_t>(i)];
+    for (int k = 0; k < n; ++k) {
+      if (k != i && rng.Uniform() < 0.6) w.overlap[static_cast<size_t>(k)] = 0.0;
+    }
+  }
+  SparsifyOverlap(gi.workloads.get());
+  ASSERT_TRUE((*gi.workloads)[0].has_sparse_overlap());
+  ASSERT_TRUE((*gi.workloads)[0].overlap.empty());
+  Layout layout = MakeGradientLayout(n, m, &rng);
+  CheckGradientContainment(gi, layout, n, m);
 }
 
 TEST_P(GradientProperty, BatchedValueMatchesScalarUtilization) {

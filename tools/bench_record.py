@@ -20,6 +20,13 @@ The trajectory file is a JSON array of entries:
      "note": ...,  # optional
      "rows": [...]}  # the bench's rows, verbatim
 
+With ``--compare-last``, after appending the script also diffs the new
+rows against the previous recorded entry of the same bench: rows are
+matched by their ``row`` (or ``name``) field and every shared numeric
+field is reported as a relative delta. This is how the fleet-scale sweep
+(``bench_fleet``) is tracked — solve seconds and quality-vs-flat per
+(N, M) row across PRs.
+
 Only the Python standard library is used.
 """
 
@@ -70,6 +77,36 @@ def extract_rows(text):
     raise ValueError("no JSON array found in input")
 
 
+def row_key(row):
+    return row.get("row") or row.get("name")
+
+
+def compare_entries(prev_rows, rows):
+    """Relative deltas of every shared numeric field between two row sets
+    matched by name. Returns printable lines."""
+    prev_by_key = {row_key(r): r for r in prev_rows if row_key(r)}
+    lines = []
+    for row in rows:
+        key = row_key(row)
+        prev = prev_by_key.get(key)
+        if prev is None:
+            lines.append(f"  {key}: new row")
+            continue
+        deltas = []
+        for field, value in row.items():
+            old = prev.get(field)
+            if (isinstance(value, (int, float)) and not isinstance(value, bool)
+                    and isinstance(old, (int, float))
+                    and not isinstance(old, bool)):
+                if old == value:
+                    continue
+                rel = (value - old) / abs(old) if old else float("inf")
+                deltas.append(f"{field} {old:g} -> {value:g} ({rel:+.1%})")
+        lines.append(f"  {key}: " + ("; ".join(deltas) if deltas
+                                     else "unchanged"))
+    return lines
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="append bench --json output to a perf-trajectory file")
@@ -81,6 +118,10 @@ def main():
                         help="trajectory file to append to")
     parser.add_argument("--note", default=None,
                         help="optional free-form context for this entry")
+    parser.add_argument("--compare-last", action="store_true",
+                        help="after appending, diff against the previous "
+                             "entry of the same bench (rows matched by "
+                             "'row'/'name')")
     args = parser.parse_args()
 
     text = (sys.stdin.read() if args.input == "-"
@@ -103,9 +144,17 @@ def main():
     }
     if args.note:
         entry["note"] = args.note
+    previous = [e for e in trajectory if e.get("bench") == args.bench]
     trajectory.append(entry)
     out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
     print(f"recorded {len(rows)} row(s) from {args.bench} -> {out_path}")
+    if args.compare_last:
+        if previous:
+            print(f"vs previous entry ({previous[-1]['recorded_utc']}):")
+            for line in compare_entries(previous[-1]["rows"], rows):
+                print(line)
+        else:
+            print("no previous entry to compare against")
 
 
 if __name__ == "__main__":
