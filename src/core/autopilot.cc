@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/replan.h"
+#include "core/sim_setup.h"
 #include "model/target_model.h"
 #include "monitor/drift.h"
 #include "monitor/online_analyzer.h"
@@ -269,11 +270,11 @@ std::string AutopilotReport::Fingerprint() const {
   return out;
 }
 
-Result<AutopilotReport> RunAutopilotSim(
+Result<AutopilotReport> RunAutopilotLoop(
     StorageSystem* system, const LayoutProblem& problem,
-    const Layout& initial_layout, const OlapSpec* olap, const OltpSpec* oltp,
-    double oltp_duration_s, const FaultPlan& faults,
-    const AutopilotOptions& options, uint64_t seed) {
+    const Layout& initial_layout, const FaultPlan& faults,
+    const AutopilotOptions& options,
+    const AutopilotForegroundDriver& foreground) {
   LDB_RETURN_IF_ERROR(problem.Validate());
   LDB_RETURN_IF_ERROR(options.config.Validate());
 
@@ -312,24 +313,25 @@ Result<AutopilotReport> RunAutopilotSim(
   system->queue().ScheduleAfter(options.config.check_interval_s,
                                 [c]() { Tick(c); });
 
-  WorkloadRunner runner(system, &router, seed);
-  runner.set_on_finished([c]() { c->run_active = false; });
-  std::vector<double> latencies;
-  runner.set_logical_observer([c, &latencies](const IoEvent& ev) {
-    c->analyzer.Observe(ev);
-    latencies.push_back(ev.complete_time - ev.submit_time);
-  });
-
-  Result<RunResult> run = Status::Internal("unreachable");
-  if (olap != nullptr && oltp != nullptr) {
-    run = runner.RunMixed(*olap, *oltp);
-  } else if (olap != nullptr) {
-    run = runner.RunOlap(*olap);
-  } else if (oltp != nullptr) {
-    run = runner.RunOltp(*oltp, oltp_duration_s);
-  } else {
-    return Status::InvalidArgument("no workload given");
+  // Layout sampling: pure reads of controller state at fixed times. Like
+  // ticks they submit no I/O and touch no RNG, so the foreground is
+  // byte-for-byte unaffected by the sampling schedule.
+  report.sampled_layouts.reserve(options.layout_sample_times.size());
+  for (double t : options.layout_sample_times) {
+    system->queue().ScheduleAt(t, [c, t]() {
+      c->report->sampled_layouts.push_back(
+          LayoutSample{t, c->current_layout});
+    });
   }
+
+  std::vector<double> latencies;
+  Result<RunResult> run = foreground(
+      &router,
+      [c, &latencies](const IoEvent& ev) {
+        c->analyzer.Observe(ev);
+        latencies.push_back(ev.complete_time - ev.submit_time);
+      },
+      [c]() { c->run_active = false; });
   if (!run.ok()) return run.status();
   report.run = std::move(run).value();
   report.run.skipped_faults = injector.skipped();
@@ -369,6 +371,27 @@ Result<AutopilotReport> RunAutopilotSim(
   return report;
 }
 
+Result<AutopilotReport> RunAutopilotSim(
+    StorageSystem* system, const LayoutProblem& problem,
+    const Layout& initial_layout, const OlapSpec* olap, const OltpSpec* oltp,
+    double oltp_duration_s, const FaultPlan& faults,
+    const AutopilotOptions& options, uint64_t seed) {
+  return RunAutopilotLoop(
+      system, problem, initial_layout, faults, options,
+      [&](VolumeRouter* router, const StorageSystem::Observer& observe,
+          const std::function<void()>& on_finished) -> Result<RunResult> {
+        WorkloadRunner runner(system, router, seed);
+        runner.set_on_finished(on_finished);
+        runner.set_logical_observer(observe);
+        if (olap != nullptr && oltp != nullptr) {
+          return runner.RunMixed(*olap, *oltp);
+        }
+        if (olap != nullptr) return runner.RunOlap(*olap);
+        if (oltp != nullptr) return runner.RunOltp(*oltp, oltp_duration_s);
+        return Status::InvalidArgument("no workload given");
+      });
+}
+
 Result<AutopilotReport> SimulateProblemAutopilot(
     const LayoutProblem& problem, const Layout& current,
     const FaultPlan& faults, const AutopilotOptions& options,
@@ -379,88 +402,17 @@ Result<AutopilotReport> SimulateProblemAutopilot(
   }
 
   // Rebuild simulated devices from the calibrated cost models' device
-  // names, exactly as SimulateProblemMigration does.
-  std::vector<std::unique_ptr<BlockDevice>> prototypes;
-  std::vector<TargetSpec> specs;
-  for (const AdvisorTarget& t : problem.targets) {
-    const std::string model =
-        t.cost_model != nullptr ? t.cost_model->device_model() : "";
-    const int members = std::max(1, t.num_members);
-    int64_t member_capacity = t.capacity_bytes;
-    switch (t.raid_level) {
-      case RaidLevel::kRaid0:
-        member_capacity = t.capacity_bytes / members;
-        break;
-      case RaidLevel::kRaid1:
-        member_capacity = t.capacity_bytes;
-        break;
-      case RaidLevel::kRaid5:
-        member_capacity = t.capacity_bytes / std::max(1, members - 1);
-        break;
-    }
-    std::unique_ptr<BlockDevice> proto;
-    if (model == "disk-15k" || model == "disk-7200") {
-      DiskParams params =
-          model == "disk-15k" ? Scsi15kParams() : Nearline7200Params();
-      params.capacity_bytes = member_capacity;
-      proto = std::make_unique<DiskModel>(params);
-    } else if (model == "ssd") {
-      SsdParams params;
-      params.capacity_bytes = member_capacity;
-      proto = std::make_unique<SsdModel>(params);
-    } else {
-      return Status::InvalidArgument(StrFormat(
-          "target %s: cannot rebuild device model '%s' for simulation",
-          t.name.c_str(), model.c_str()));
-    }
-    TargetSpec spec;
-    spec.name = t.name;
-    spec.prototype = proto.get();
-    spec.num_members = members;
-    spec.stripe_bytes = t.stripe_bytes;
-    spec.raid_level = t.raid_level;
-    prototypes.push_back(std::move(proto));
-    specs.push_back(std::move(spec));
-  }
-  StorageSystem system(specs);
+  // names, exactly as SimulateProblemMigration does. The synthetic
+  // foreground is random-access: a problem fitted from sequential scans
+  // will legitimately drift against it.
+  auto rebuilt = BuildSystemForProblem(problem);
+  if (!rebuilt.ok()) return rebuilt.status();
+  auto fg = SyntheticForeground(problem, "autopilot-fg", "autopilot");
+  if (!fg.ok()) return fg.status();
 
-  // Synthetic closed-loop foreground from the fitted descriptions (the
-  // SimulateProblemMigration recipe). Note it is random-access: a problem
-  // fitted from sequential scans will legitimately drift against it.
-  OltpSpec fg;
-  fg.name = "autopilot-fg";
-  fg.transaction.name = "synthetic";
-  QueryStep step;
-  step.depth = 8;
-  for (int i = 0; i < problem.num_objects(); ++i) {
-    const WorkloadDesc& w = problem.workloads[static_cast<size_t>(i)];
-    const double rate = w.total_rate();
-    if (rate <= 0.0) continue;
-    StreamSpec s;
-    s.object = i;
-    const double mean = w.mean_size();
-    s.request_bytes = std::max<int64_t>(
-        4 * kKiB, std::min<int64_t>(static_cast<int64_t>(mean),
-                                    problem.object_sizes[static_cast<size_t>(
-                                        i)]));
-    s.bytes = std::max<int64_t>(
-        s.request_bytes, static_cast<int64_t>(rate) * s.request_bytes);
-    s.pattern = AccessPattern::kRandom;
-    s.write_fraction = rate > 0.0 ? w.write_rate / rate : 0.0;
-    step.streams.push_back(s);
-  }
-  if (step.streams.empty()) {
-    return Status::InvalidArgument(
-        "autopilot: every object has zero fitted request rate; "
-        "nothing to run");
-  }
-  fg.transaction.steps.push_back(std::move(step));
-  fg.terminals = 1;
-  fg.txn_overhead_s = 0.0;
-  fg.warmup_s = 0.0;
-
-  return RunAutopilotSim(&system, problem, current, /*olap=*/nullptr, &fg,
-                         duration_s, faults, options, seed);
+  return RunAutopilotSim(rebuilt->system.get(), problem, current,
+                         /*olap=*/nullptr, &fg.value(), duration_s, faults,
+                         options, seed);
 }
 
 }  // namespace ldb

@@ -2,6 +2,7 @@
 #define LAYOUTDB_CORE_AUTOPILOT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,12 @@ struct AutopilotOptions {
   /// layout is automatically added to `advisor.warm_seeds` on every
   /// re-advise.
   AdvisorOptions advisor;
+  /// Simulated times (seconds) at which the controller's deployed layout
+  /// is sampled into AutopilotReport::sampled_layouts. The sampling events
+  /// submit no I/O and touch no RNG, so they never perturb the foreground
+  /// — bench_scenarios uses them to score the autopilot per scenario
+  /// segment. Times past the end of the run record the final layout.
+  std::vector<double> layout_sample_times;
 };
 
 /// One controller decision, recorded at every drift trip.
@@ -47,6 +54,12 @@ struct AutopilotDecision {
   bool gate_passed = false;
   bool started = false;  ///< a migration was actually launched
   std::string note;      ///< human-readable gate verdict
+};
+
+/// The deployed layout observed at one requested sample time.
+struct LayoutSample {
+  double time;
+  Layout layout;
 };
 
 /// Outcome of one autopilot run: the foreground results plus the full
@@ -68,6 +81,8 @@ struct AutopilotReport {
   Layout final_layout;  ///< layout in effect when the run ended
   double final_drift_score = 0.0;
   std::vector<std::string> skipped_faults;
+  /// One entry per AutopilotOptions::layout_sample_times, in order.
+  std::vector<LayoutSample> sampled_layouts;
 
   AutopilotReport() : initial_layout(1, 1), final_layout(1, 1) {}
 
@@ -76,6 +91,29 @@ struct AutopilotReport {
   /// behaved identically — the bit-identity tests compare these.
   std::string Fingerprint() const;
 };
+
+/// The foreground half of an autopilot run. RunAutopilotLoop builds the
+/// controller (analyzer, drift detector, volume-manager chain, migration
+/// executors) and then calls the driver exactly once to run the workload:
+/// the driver must submit all foreground I/O through `router` (the splice
+/// seam migrations are swapped into), report every logical completion to
+/// `observe` (which feeds the streaming analyzer), invoke `on_finished`
+/// when the workload logically completes (so the controller stops
+/// rescheduling ticks and the event queue can idle), and pump the event
+/// loop to completion before returning.
+using AutopilotForegroundDriver = std::function<Result<RunResult>(
+    VolumeRouter* router, const StorageSystem::Observer& observe,
+    const std::function<void()>& on_finished)>;
+
+/// The reusable sense→decide→act loop under any foreground driver:
+/// WorkloadRunner (RunAutopilotSim) or a ScenarioPlayer (scenario/sim).
+/// Handles controller construction, fault arming, periodic ticks, layout
+/// sampling, terminal migration accounting, and report assembly.
+Result<AutopilotReport> RunAutopilotLoop(
+    StorageSystem* system, const LayoutProblem& problem,
+    const Layout& initial_layout, const FaultPlan& faults,
+    const AutopilotOptions& options,
+    const AutopilotForegroundDriver& foreground);
 
 /// Runs workloads on `system` with the full sense→decide→act loop closed:
 /// a streaming analyzer taps the runner's object-level completions, a

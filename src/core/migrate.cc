@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/sim_setup.h"
 #include "storage/disk.h"
 #include "storage/ssd.h"
 #include "util/check.h"
@@ -804,94 +805,16 @@ Result<MigrationRunReport> SimulateProblemMigration(
   auto to_placements = LayoutToPlacements(problem, to);
   if (!to_placements.ok()) return to_placements.status();
 
-  // Rebuild simulated devices from the calibrated cost models' device
-  // names. Only the built-in models can be reconstructed; problems
-  // calibrated against exotic devices must use the rig API instead.
-  std::vector<std::unique_ptr<BlockDevice>> prototypes;
-  std::vector<TargetSpec> specs;
-  for (const AdvisorTarget& t : problem.targets) {
-    const std::string model =
-        t.cost_model != nullptr ? t.cost_model->device_model() : "";
-    const int members = std::max(1, t.num_members);
-    int64_t member_capacity = t.capacity_bytes;
-    switch (t.raid_level) {
-      case RaidLevel::kRaid0:
-        member_capacity = t.capacity_bytes / members;
-        break;
-      case RaidLevel::kRaid1:
-        member_capacity = t.capacity_bytes;
-        break;
-      case RaidLevel::kRaid5:
-        member_capacity = t.capacity_bytes / std::max(1, members - 1);
-        break;
-    }
-    std::unique_ptr<BlockDevice> proto;
-    if (model == "disk-15k" || model == "disk-7200") {
-      DiskParams params =
-          model == "disk-15k" ? Scsi15kParams() : Nearline7200Params();
-      params.capacity_bytes = member_capacity;
-      proto = std::make_unique<DiskModel>(params);
-    } else if (model == "ssd") {
-      SsdParams params;
-      params.capacity_bytes = member_capacity;
-      proto = std::make_unique<SsdModel>(params);
-    } else {
-      return Status::InvalidArgument(StrFormat(
-          "target %s: cannot rebuild device model '%s' for simulation",
-          t.name.c_str(), model.c_str()));
-    }
-    TargetSpec spec;
-    spec.name = t.name;
-    spec.prototype = proto.get();
-    spec.num_members = members;
-    spec.stripe_bytes = t.stripe_bytes;
-    spec.raid_level = t.raid_level;
-    prototypes.push_back(std::move(proto));
-    specs.push_back(std::move(spec));
-  }
-  StorageSystem system(specs);
+  auto rebuilt = BuildSystemForProblem(problem);
+  if (!rebuilt.ok()) return rebuilt.status();
+  auto fg = SyntheticForeground(problem, "migrate-fg", "migrate");
+  if (!fg.ok()) return fg.status();
 
-  // Synthesize a closed-loop foreground workload from the fitted per-object
-  // descriptions: each active object gets one random-access stream whose
-  // request size and write fraction match its description; rates set the
-  // per-transaction volume.
-  OltpSpec fg;
-  fg.name = "migrate-fg";
-  fg.transaction.name = "synthetic";
-  QueryStep step;
-  step.depth = 8;
-  for (int i = 0; i < problem.num_objects(); ++i) {
-    const WorkloadDesc& w = problem.workloads[static_cast<size_t>(i)];
-    const double rate = w.total_rate();
-    if (rate <= 0.0) continue;
-    StreamSpec s;
-    s.object = i;
-    const double mean = w.mean_size();
-    s.request_bytes = std::max<int64_t>(
-        4 * kKiB, std::min<int64_t>(static_cast<int64_t>(mean),
-                                    problem.object_sizes[static_cast<size_t>(
-                                        i)]));
-    // One simulated second of this object's fitted demand per transaction.
-    s.bytes = std::max<int64_t>(
-        s.request_bytes, static_cast<int64_t>(rate) * s.request_bytes);
-    s.pattern = AccessPattern::kRandom;
-    s.write_fraction = rate > 0.0 ? w.write_rate / rate : 0.0;
-    step.streams.push_back(s);
-  }
-  if (step.streams.empty()) {
-    return Status::InvalidArgument(
-        "migrate: every object has zero fitted request rate; nothing to run");
-  }
-  fg.transaction.steps.push_back(std::move(step));
-  fg.terminals = 1;
-  fg.txn_overhead_s = 0.0;
-  fg.warmup_s = 0.0;
-
-  return RunMigrationSim(&system, problem.object_sizes,
+  return RunMigrationSim(rebuilt->system.get(), problem.object_sizes,
                          std::move(from_placements).value(),
                          std::move(to_placements).value(),
-                         problem.lvm_stripe_bytes, /*olap=*/nullptr, &fg,
-                         duration_s, faults, options, seed);
+                         problem.lvm_stripe_bytes, /*olap=*/nullptr,
+                         &fg.value(), duration_s, faults, options, seed);
 }
 
 }  // namespace ldb

@@ -78,6 +78,15 @@ struct ParseState {
   };
   std::vector<OverlapEntry> overlaps;
   std::vector<std::pair<std::string, double>> self_overlaps;
+  // First-occurrence line numbers of the once-only directives (0 = not
+  // seen yet), for duplicate-directive error context.
+  int autopilot_line = 0;
+  int faults_line = 0;
+  // Accumulated `scenario` directive text and its first line, parsed
+  // after the whole file is read (so ranges can be checked against the
+  // declared objects).
+  std::string scenario_text;
+  int scenario_line = 0;
 };
 
 Status HandleDevice(ParseState* st, const std::vector<std::string>& tok) {
@@ -310,6 +319,10 @@ Result<LoadedProblem> ParseProblemText(const std::string& text,
     } else if (tok[0] == "autopilot") {
       if (tok.size() < 2) {
         status = Status::InvalidArgument("autopilot <spec>");
+      } else if (st.autopilot_line != 0) {
+        status = Status::InvalidArgument(StrFormat(
+            "duplicate autopilot directive (first at line %d)",
+            st.autopilot_line));
       } else {
         // Concatenating tokens tolerates whitespace after ';'/',' while
         // keeping the spec grammar (and its clause-indexed errors) intact.
@@ -319,9 +332,39 @@ Result<LoadedProblem> ParseProblemText(const std::string& text,
         if (!cfg.ok()) {
           status = cfg.status();
         } else {
+          st.autopilot_line = line_no;
           st.out.has_autopilot = true;
           st.out.autopilot = *cfg;
         }
+      }
+    } else if (tok[0] == "faults") {
+      if (tok.size() < 2) {
+        status = Status::InvalidArgument("faults <spec>");
+      } else if (st.faults_line != 0) {
+        status = Status::InvalidArgument(StrFormat(
+            "duplicate faults directive (first at line %d)",
+            st.faults_line));
+      } else {
+        std::string spec;
+        for (size_t i = 1; i < tok.size(); ++i) spec += tok[i];
+        auto plan = ParseFaultPlan(spec);
+        if (!plan.ok()) {
+          status = plan.status();
+        } else {
+          st.faults_line = line_no;
+          st.out.has_faults = true;
+          st.out.faults = std::move(plan).value();
+        }
+      }
+    } else if (tok[0] == "scenario") {
+      if (tok.size() < 2) {
+        status = Status::InvalidArgument("scenario <spec>");
+      } else {
+        if (st.scenario_line == 0) st.scenario_line = line_no;
+        if (!st.scenario_text.empty()) st.scenario_text += ';';
+        std::string spec;
+        for (size_t i = 1; i < tok.size(); ++i) spec += tok[i];
+        st.scenario_text += spec;
       }
     } else {
       status = Status::InvalidArgument(
@@ -383,6 +426,25 @@ Result<LoadedProblem> ParseProblemText(const std::string& text,
     if (!a.ok()) return a.status();
     if (!b.ok()) return b.status();
     p.constraints.separate.emplace_back(*a, *b);
+  }
+
+  // The scenario accumulates across lines, so it can only be parsed (and
+  // its object ranges checked) once the whole file — including all
+  // `object` lines — is in. Clause-indexed errors pass through with the
+  // first scenario line as context.
+  if (st.scenario_line != 0) {
+    auto spec = ParseScenarioSpec(st.scenario_text);
+    if (spec.ok()) {
+      Status valid = spec->Validate(static_cast<int>(n));
+      if (!valid.ok()) spec = valid;
+    }
+    if (!spec.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("scenario directive (line %d): %s", st.scenario_line,
+                    spec.status().message().c_str()));
+    }
+    st.out.has_scenario = true;
+    st.out.scenario = std::move(spec).value();
   }
 
   LDB_RETURN_IF_ERROR(p.Validate());
@@ -546,6 +608,23 @@ std::string FormatProblemText(const LayoutProblem& problem) {
         "separate %s %s\n",
         SanitizeName(problem.object_names[static_cast<size_t>(a)]).c_str(),
         SanitizeName(problem.object_names[static_cast<size_t>(b)]).c_str());
+  }
+  return out;
+}
+
+std::string FormatProblemText(const LoadedProblem& loaded) {
+  std::string out = FormatProblemText(loaded.problem);
+  if (loaded.has_autopilot) {
+    out += StrFormat("autopilot %s\n",
+                     AutopilotConfigToString(loaded.autopilot).c_str());
+  }
+  if (loaded.has_faults) {
+    out += StrFormat("faults %s\n",
+                     FaultPlanToString(loaded.faults).c_str());
+  }
+  if (loaded.has_scenario) {
+    out += StrFormat("scenario %s\n",
+                     ScenarioToString(loaded.scenario).c_str());
   }
   return out;
 }

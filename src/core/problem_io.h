@@ -10,6 +10,8 @@
 #include "model/calibration.h"
 #include "model/cost_model.h"
 #include "monitor/autopilot_spec.h"
+#include "scenario/scenario.h"
+#include "storage/fault.h"
 
 namespace ldb {
 
@@ -22,6 +24,16 @@ struct LoadedProblem {
   /// precedence).
   bool has_autopilot = false;
   AutopilotConfig autopilot;
+  /// Fault plan from a `faults` directive, when present (the file-level
+  /// twin of the CLI's `--faults` flag, which takes precedence).
+  bool has_faults = false;
+  FaultPlan faults;
+  /// Scenario from `scenario` directives, when present. Multiple
+  /// `scenario` lines accumulate (joined with ';'), so long specs can be
+  /// split clause-per-line; the accumulated spec is parsed and validated
+  /// against the declared objects once the whole file is read.
+  bool has_scenario = false;
+  ScenarioSpec scenario;
 };
 
 /// Knobs for loading problem files.
@@ -49,10 +61,14 @@ struct ProblemIoOptions {
 ///   separate <object_a> <object_b>
 ///   autopilot <spec>            # ParseAutopilotSpec grammar; whitespace
 ///                               # between clauses is tolerated
+///   faults <spec>               # ParseFaultPlan grammar, same tolerance
+///   scenario <spec>             # ParseScenarioSpec grammar; repeated
+///                               # lines accumulate (joined with ';')
 ///
-/// `device` calibrates the built-in device model on first use (one
-/// calibration per distinct model per load, served from the calibration
-/// cache when one is configured).
+/// `autopilot` and `faults` may each appear at most once (a duplicate is
+/// an error naming the first occurrence's line). `device` calibrates the
+/// built-in device model on first use (one calibration per distinct model
+/// per load, served from the calibration cache when one is configured).
 Result<LoadedProblem> ParseProblemText(const std::string& text,
                                        const ProblemIoOptions& options = {});
 
@@ -71,6 +87,10 @@ std::string FormatAdvisorReport(const LayoutProblem& problem,
 /// models ("disk-15k", "disk-7200", "ssd"); custom cost models serialize
 /// as builtin references by name and may not round-trip exactly.
 std::string FormatProblemText(const LayoutProblem& problem);
+
+/// As above, but also re-emits the loaded problem's `autopilot`, `faults`
+/// and `scenario` directives, so a full LoadedProblem round-trips.
+std::string FormatProblemText(const LoadedProblem& loaded);
 
 }  // namespace ldb
 

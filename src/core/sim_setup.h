@@ -1,0 +1,43 @@
+#ifndef LAYOUTDB_CORE_SIM_SETUP_H_
+#define LAYOUTDB_CORE_SIM_SETUP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+#include "storage/storage_system.h"
+#include "util/status.h"
+#include "workload/spec.h"
+
+namespace ldb {
+
+/// A simulated StorageSystem rebuilt from a calibrated LayoutProblem.
+/// The prototypes own the device models the system was constructed from;
+/// keep the bundle alive as long as the system runs.
+struct RebuiltSystem {
+  std::vector<std::unique_ptr<BlockDevice>> prototypes;
+  std::vector<TargetSpec> specs;
+  std::unique_ptr<StorageSystem> system;
+};
+
+/// Rebuilds simulated devices from the problem's calibrated cost-model
+/// names. Only the built-in models (disk-15k, disk-7200, ssd) can be
+/// reconstructed; problems calibrated against exotic devices must use the
+/// rig API instead. Shared by the migration, autopilot, and scenario
+/// problem-level simulation entry points.
+Result<RebuiltSystem> BuildSystemForProblem(const LayoutProblem& problem);
+
+/// Synthesizes a closed-loop foreground workload from the problem's fitted
+/// per-object descriptions: each active object gets one random-access
+/// stream whose request size and write fraction match its description;
+/// rates set the per-transaction volume (one simulated second of fitted
+/// demand per transaction). `label` names the spec ("migrate-fg",
+/// "autopilot-fg", ...); `context` prefixes the every-object-idle error.
+Result<OltpSpec> SyntheticForeground(const LayoutProblem& problem,
+                                     const std::string& label,
+                                     const std::string& context);
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_CORE_SIM_SETUP_H_

@@ -66,6 +66,14 @@ Status AutopilotConfig::Validate() const {
   if (!(drift.min_rate > 0.0)) {
     return Status::InvalidArgument("min rate must be > 0");
   }
+  if (drift.sustained_ratio < 0.0 || drift.sustained_ratio > 1.0 ||
+      std::isnan(drift.sustained_ratio)) {
+    return Status::InvalidArgument("sustain ratio must be in [0,1]");
+  }
+  if (drift.sustained_ratio > 0.0 && !(drift.sustained_s > 0.0)) {
+    return Status::InvalidArgument(
+        "sustain_s must be > 0 when sustain is enabled");
+  }
   if (gate_min_gain < 0.0) {
     return Status::InvalidArgument("gate gain must be >= 0");
   }
@@ -158,6 +166,18 @@ Result<AutopilotConfig> ParseAutopilotSpec(const std::string& text) {
         LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
         if (!(dv > 0.0)) return clause_error("minrate must be > 0");
         config.drift.min_rate = dv;
+      } else if (key == "sustain") {
+        LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        if (dv < 0.0 || dv > 1.0 || std::isnan(dv)) {
+          return clause_error("sustain must be in [0,1] (0 disables)");
+        }
+        config.drift.sustained_ratio = dv;
+      } else if (key == "sustain_s") {
+        LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
+        if (!(dv > 0.0) || !std::isfinite(dv)) {
+          return clause_error("sustain_s must be > 0");
+        }
+        config.drift.sustained_s = dv;
       } else if (key == "gain") {
         LDB_RETURN_IF_ERROR(ParseDouble(value, key, &dv));
         if (dv < 0.0 || !std::isfinite(dv)) {
@@ -194,6 +214,11 @@ std::string AutopilotConfigToString(const AutopilotConfig& config) {
           : "inf",
       config.drift.threshold, config.drift.trip_evaluations,
       config.drift.clear_ratio, config.drift.cooldown_s);
+  if (config.drift.sustained_ratio > 0.0) {
+    out += StrFormat(",sustain=%g,sustain_s=%g",
+                     config.drift.sustained_ratio,
+                     config.drift.sustained_s);
+  }
   out += StrFormat(";gain=%g,horizon=%g", config.gate_min_gain,
                    config.gate_horizon_s);
   return out;

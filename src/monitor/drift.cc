@@ -62,6 +62,9 @@ DriftDetector::DriftDetector(WorkloadSet reference, DriftOptions options,
   LDB_CHECK(options_.clear_ratio > 0.0 && options_.clear_ratio <= 1.0);
   LDB_CHECK_GE(options_.cooldown_s, 0.0);
   LDB_CHECK_GT(options_.min_rate, 0.0);
+  LDB_CHECK(options_.sustained_ratio >= 0.0 &&
+            options_.sustained_ratio <= 1.0);
+  LDB_CHECK(options_.sustained_ratio == 0.0 || options_.sustained_s > 0.0);
   cooldown_until_ = now + options_.cooldown_s;
 }
 
@@ -119,6 +122,7 @@ bool DriftDetector::Evaluate(const WorkloadSet& live, double now) {
   last_score_ = Score(live);
   if (now < cooldown_until_) {
     above_ = 0;
+    elevated_since_ = -1.0;
     return false;
   }
   if (!armed_) {
@@ -129,11 +133,31 @@ bool DriftDetector::Evaluate(const WorkloadSet& live, double now) {
       return false;
     }
   }
+  // Sustained sub-threshold path: a score plateauing in
+  // (ratio * threshold, threshold] would never edge-trigger; the dwell
+  // clock catches it. It only runs while armed and outside cooldown, so a
+  // freshly advised layout gets the same grace period as the edge trigger.
+  if (options_.sustained_ratio > 0.0 &&
+      last_score_ > options_.threshold * options_.sustained_ratio) {
+    if (elevated_since_ < 0.0) elevated_since_ = now;
+    if (now - elevated_since_ >= options_.sustained_s) {
+      ++trips_;
+      ++sustained_trips_;
+      armed_ = false;
+      above_ = 0;
+      elevated_since_ = -1.0;
+      cooldown_until_ = now + options_.cooldown_s;
+      return true;
+    }
+  } else {
+    elevated_since_ = -1.0;
+  }
   if (last_score_ > options_.threshold) {
     if (++above_ >= options_.trip_evaluations) {
       ++trips_;
       armed_ = false;
       above_ = 0;
+      elevated_since_ = -1.0;
       cooldown_until_ = now + options_.cooldown_s;
       return true;
     }
@@ -148,6 +172,7 @@ void DriftDetector::Rearm(WorkloadSet reference, double now) {
   cooldown_until_ = now + options_.cooldown_s;
   armed_ = true;
   above_ = 0;
+  elevated_since_ = -1.0;
 }
 
 }  // namespace ldb

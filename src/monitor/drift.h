@@ -27,6 +27,18 @@ struct DriftOptions {
   /// considered inactive and score zero; it also floors log-ratio
   /// denominators so idle objects cannot produce infinite drift.
   double min_rate = 0.5;
+  /// Sustained sub-threshold drift trip. An adversarial workload can drift
+  /// slowly and then *plateau* just under `threshold`: the edge trigger
+  /// never fires, the reference is never re-taken, and the deployed layout
+  /// stays stale forever. With `sustained_ratio` in (0,1], a score held
+  /// continuously above threshold * sustained_ratio for `sustained_s`
+  /// seconds trips the detector even though the threshold was never
+  /// crossed. 0 disables (the historical behavior, which the slow-drift
+  /// scenario test documents).
+  double sustained_ratio = 0.0;
+  /// Dwell time for the sustained trip; must be > 0 when
+  /// `sustained_ratio` > 0.
+  double sustained_s = 0.0;
 };
 
 /// Scores divergence between a live workload window and the WorkloadSet
@@ -63,6 +75,9 @@ class DriftDetector {
   const DriftOptions& options() const { return options_; }
   double last_score() const { return last_score_; }
   uint64_t trips() const { return trips_; }
+  /// Trips fired by the sustained sub-threshold path (a subset of
+  /// trips()).
+  uint64_t sustained_trips() const { return sustained_trips_; }
 
  private:
   WorkloadSet reference_;
@@ -72,6 +87,10 @@ class DriftDetector {
   int above_ = 0;
   double last_score_ = 0.0;
   uint64_t trips_ = 0;
+  uint64_t sustained_trips_ = 0;
+  /// Time the score first rose above threshold * sustained_ratio and
+  /// stayed there; negative = not currently elevated.
+  double elevated_since_ = -1.0;
 };
 
 }  // namespace ldb

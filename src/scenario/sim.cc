@@ -1,0 +1,111 @@
+#include "scenario/sim.h"
+
+#include <memory>
+#include <utility>
+
+#include "core/sim_setup.h"
+#include "storage/lvm.h"
+#include "util/table.h"
+
+namespace ldb {
+
+std::string ScenarioOutcome::RunFingerprint() const {
+  std::string out = StrFormat(
+      "elapsed=%.17g;requests=%llu;arrivals=%llu;submitted=%llu;shed=%llu",
+      run.elapsed_seconds, static_cast<unsigned long long>(run.total_requests),
+      static_cast<unsigned long long>(play.arrivals),
+      static_cast<unsigned long long>(play.requests),
+      static_cast<unsigned long long>(play.shed));
+  out += ";util";
+  for (double u : run.utilization) out += StrFormat("|%.17g", u);
+  out += StrFormat(";faults=%llu,%llu,%llu",
+                   static_cast<unsigned long long>(run.faults.faults_injected),
+                   static_cast<unsigned long long>(run.faults.transient_errors),
+                   static_cast<unsigned long long>(run.faults.failed_requests));
+  return out;
+}
+
+std::string ScenarioOutcome::Fingerprint() const {
+  std::string out = RunFingerprint();
+  if (has_autopilot) out += ";ap:" + autopilot.Fingerprint();
+  return out;
+}
+
+Result<ScenarioOutcome> PlayScenarioStatic(
+    StorageSystem* system, const LayoutProblem& problem,
+    const Layout& layout, const ScenarioSpec& spec, const FaultPlan& faults,
+    ScenarioPlayerOptions popts, StorageSystem::Observer logical_observer) {
+  LDB_RETURN_IF_ERROR(problem.Validate());
+  // Deployed state, like a migration source: physics only, not policy.
+  auto placements = LayoutToPlacements(problem, layout,
+                                       /*check_placement_constraints=*/false);
+  if (!placements.ok()) return placements.status();
+  auto volumes = StripedVolumeManager::Create(
+      problem.object_sizes, std::move(placements).value(),
+      system->capacities(), problem.lvm_stripe_bytes);
+  if (!volumes.ok()) return volumes.status();
+  PassthroughRouter router(&volumes.value());
+
+  // Arm before Play, mirroring RunAutopilotLoop's order; the player resets
+  // targets at start like the runner, which does not disturb armed faults.
+  FaultInjector injector(system, faults);
+  LDB_RETURN_IF_ERROR(injector.Arm());
+
+  ScenarioPlayer player(system, &router, spec, popts);
+  if (logical_observer) {
+    player.set_logical_observer(std::move(logical_observer));
+  }
+  auto run = player.Play();
+  if (!run.ok()) return run.status();
+
+  ScenarioOutcome outcome;
+  outcome.run = std::move(run).value();
+  outcome.run.skipped_faults = injector.skipped();
+  outcome.play = player.stats();
+  return outcome;
+}
+
+Result<ScenarioOutcome> PlayScenarioAutopilot(
+    StorageSystem* system, const LayoutProblem& problem,
+    const Layout& initial_layout, const ScenarioSpec& spec,
+    const FaultPlan& faults, const AutopilotOptions& options,
+    ScenarioPlayerOptions popts) {
+  ScenarioPlayStats play;
+  auto driver = [&](VolumeRouter* router,
+                    const StorageSystem::Observer& observe,
+                    const std::function<void()>& on_finished)
+      -> Result<RunResult> {
+    ScenarioPlayer player(system, router, spec, popts);
+    player.set_logical_observer(observe);
+    player.set_on_finished(on_finished);
+    auto run = player.Play();
+    play = player.stats();
+    return run;
+  };
+  auto report = RunAutopilotLoop(system, problem, initial_layout, faults,
+                                 options, driver);
+  if (!report.ok()) return report.status();
+
+  ScenarioOutcome outcome;
+  outcome.run = report->run;
+  outcome.play = play;
+  outcome.has_autopilot = true;
+  outcome.autopilot = std::move(report).value();
+  return outcome;
+}
+
+Result<ScenarioOutcome> SimulateProblemScenario(
+    const LayoutProblem& problem, const Layout& current,
+    const ScenarioSpec& spec, const FaultPlan& faults,
+    const AutopilotOptions* autopilot, ScenarioPlayerOptions popts) {
+  auto rebuilt = BuildSystemForProblem(problem);
+  if (!rebuilt.ok()) return rebuilt.status();
+  if (autopilot != nullptr) {
+    return PlayScenarioAutopilot(rebuilt->system.get(), problem, current,
+                                 spec, faults, *autopilot, popts);
+  }
+  return PlayScenarioStatic(rebuilt->system.get(), problem, current, spec,
+                            faults, popts);
+}
+
+}  // namespace ldb

@@ -1,0 +1,72 @@
+#ifndef LAYOUTDB_SCENARIO_SIM_H_
+#define LAYOUTDB_SCENARIO_SIM_H_
+
+#include <string>
+
+#include "core/autopilot.h"
+#include "core/problem.h"
+#include "model/layout.h"
+#include "scenario/player.h"
+#include "scenario/scenario.h"
+#include "storage/fault.h"
+#include "storage/storage_system.h"
+#include "util/status.h"
+
+namespace ldb {
+
+/// Everything a scenario run produced: the foreground measurements plus,
+/// for autopilot runs, the full controller report.
+struct ScenarioOutcome {
+  RunResult run;
+  ScenarioPlayStats play;
+  bool has_autopilot = false;
+  AutopilotReport autopilot;
+
+  /// Digest of the foreground-observable half only (run metrics,
+  /// per-target utilization, player counters) — the part a static run and
+  /// an autopilot run can be compared on. An autopilot run with drift
+  /// disabled (threshold = inf) matches the static run's RunFingerprint
+  /// bit-for-bit.
+  std::string RunFingerprint() const;
+
+  /// Full digest: RunFingerprint plus, when present, the autopilot
+  /// report's own fingerprint (decision log, final layout). The
+  /// thread-count bit-identity checks compare these.
+  std::string Fingerprint() const;
+};
+
+/// Plays `spec` against the fixed `layout` on `system`: builds the volume
+/// chain, arms `faults`, and runs an open-loop ScenarioPlayer. The
+/// baseline every adaptive run is scored against. A `logical_observer`
+/// receives every object-level completion — bench_scenarios runs this
+/// under SEE with an OnlineAnalyzer attached to fit per-segment workload
+/// descriptions in the same frame the autopilot's analyzer sees.
+Result<ScenarioOutcome> PlayScenarioStatic(
+    StorageSystem* system, const LayoutProblem& problem,
+    const Layout& layout, const ScenarioSpec& spec, const FaultPlan& faults,
+    ScenarioPlayerOptions popts = {},
+    StorageSystem::Observer logical_observer = nullptr);
+
+/// Plays `spec` under the closed autopilot loop (RunAutopilotLoop with a
+/// ScenarioPlayer foreground): the player's logical completions feed the
+/// streaming analyzer, drift trips re-advise, and gated migrations splice
+/// into the player's router mid-scenario.
+Result<ScenarioOutcome> PlayScenarioAutopilot(
+    StorageSystem* system, const LayoutProblem& problem,
+    const Layout& initial_layout, const ScenarioSpec& spec,
+    const FaultPlan& faults, const AutopilotOptions& options,
+    ScenarioPlayerOptions popts = {});
+
+/// CLI-facing scenario simulation (sibling of SimulateProblemAutopilot):
+/// rebuilds devices from the problem's calibrated cost-model names and
+/// plays `spec` with `current` deployed — statically when `autopilot` is
+/// null, under the closed loop otherwise.
+Result<ScenarioOutcome> SimulateProblemScenario(
+    const LayoutProblem& problem, const Layout& current,
+    const ScenarioSpec& spec, const FaultPlan& faults,
+    const AutopilotOptions* autopilot = nullptr,
+    ScenarioPlayerOptions popts = {});
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_SCENARIO_SIM_H_

@@ -370,6 +370,93 @@ TEST(DriftDetectorTest, RearmAdoptsReferenceAndRestartsCooldown) {
   EXPECT_TRUE(det.Evaluate(ref, 22.0));
 }
 
+TEST(DriftDetectorTest, SubThresholdPlateauNeverTripsWithoutSustain) {
+  // The adversarial slow-drift shape: the live workload plateaus *just
+  // under* the trip threshold. With the historical (sustain-disabled)
+  // configuration the edge trigger never fires, the reference is never
+  // re-taken, and the stale layout persists forever. This test documents
+  // that behavior; the next one shows the sustain knob fixing it.
+  WorkloadSet ref = TwoObjectSet(100, 64 * kKiB, 100, 64 * kKiB);
+  // A ~1.8x rate shift scores between clear and trip for threshold=0.5.
+  WorkloadSet plateau = TwoObjectSet(180, 64 * kKiB, 180, 64 * kKiB);
+  DriftOptions opts;
+  opts.threshold = 0.5;
+  opts.trip_evaluations = 1;
+  opts.cooldown_s = 0.0;
+  DriftDetector det(ref, opts, 0.0);
+  ASSERT_GT(det.Score(plateau), opts.threshold * opts.clear_ratio);
+  ASSERT_LT(det.Score(plateau), opts.threshold);
+  for (int k = 1; k <= 1000; ++k) {
+    EXPECT_FALSE(det.Evaluate(plateau, static_cast<double>(k)));
+  }
+  EXPECT_EQ(det.trips(), 0u);
+}
+
+TEST(DriftDetectorTest, SustainTripsOnSubThresholdPlateau) {
+  WorkloadSet ref = TwoObjectSet(100, 64 * kKiB, 100, 64 * kKiB);
+  WorkloadSet plateau = TwoObjectSet(180, 64 * kKiB, 180, 64 * kKiB);
+  DriftOptions opts;
+  opts.threshold = 0.5;
+  opts.trip_evaluations = 1;
+  opts.cooldown_s = 4.0;
+  opts.sustained_ratio = 0.6;  // dwell band starts at score 0.3
+  opts.sustained_s = 10.0;
+  DriftDetector det(ref, opts, 0.0);
+  ASSERT_GT(det.Score(plateau), opts.threshold * opts.sustained_ratio);
+  ASSERT_LT(det.Score(plateau), opts.threshold);
+  // Inside the initial cooldown the dwell clock must not accumulate.
+  EXPECT_FALSE(det.Evaluate(plateau, 1.0));
+  // Dwell starts at t=5 (first armed evaluation); fires once 10 s elapse.
+  EXPECT_FALSE(det.Evaluate(plateau, 5.0));
+  EXPECT_FALSE(det.Evaluate(plateau, 12.0));
+  EXPECT_TRUE(det.Evaluate(plateau, 15.0));
+  EXPECT_EQ(det.trips(), 1u);
+  EXPECT_EQ(det.sustained_trips(), 1u);
+  // Tripped: disarmed until the score clears, exactly like an edge trip.
+  EXPECT_FALSE(det.Evaluate(plateau, 30.0));
+  EXPECT_FALSE(det.Evaluate(plateau, 60.0));
+  EXPECT_EQ(det.trips(), 1u);
+  // Rearm on a new reference: plateau reads as zero drift, no dwell.
+  det.Rearm(plateau, 60.0);
+  EXPECT_FALSE(det.Evaluate(plateau, 100.0));
+  EXPECT_EQ(det.trips(), 1u);
+}
+
+TEST(DriftDetectorTest, SustainDwellResetsWhenScoreDips) {
+  WorkloadSet ref = TwoObjectSet(100, 64 * kKiB, 100, 64 * kKiB);
+  WorkloadSet plateau = TwoObjectSet(180, 64 * kKiB, 180, 64 * kKiB);
+  DriftOptions opts;
+  opts.threshold = 0.5;
+  opts.trip_evaluations = 1;
+  opts.cooldown_s = 0.0;
+  opts.sustained_ratio = 0.6;
+  opts.sustained_s = 10.0;
+  DriftDetector det(ref, opts, 0.0);
+  EXPECT_FALSE(det.Evaluate(plateau, 1.0));  // dwell starts
+  EXPECT_FALSE(det.Evaluate(ref, 8.0));      // dips below band: resets
+  EXPECT_FALSE(det.Evaluate(plateau, 9.0));  // dwell restarts here
+  EXPECT_FALSE(det.Evaluate(plateau, 18.0));  // 9 s < 10 s: no trip yet
+  EXPECT_TRUE(det.Evaluate(plateau, 19.0));
+  EXPECT_EQ(det.sustained_trips(), 1u);
+}
+
+TEST(DriftDetectorTest, EdgeTripStillWinsOverSustain) {
+  // A hard shift must trip via the edge path immediately; the sustain
+  // counter stays untouched.
+  WorkloadSet ref = TwoObjectSet(100, 64 * kKiB, 100, 64 * kKiB);
+  WorkloadSet drifted = TwoObjectSet(400, 64 * kKiB, 400, 64 * kKiB);
+  DriftOptions opts;
+  opts.threshold = 0.5;
+  opts.trip_evaluations = 1;
+  opts.cooldown_s = 0.0;
+  opts.sustained_ratio = 0.6;
+  opts.sustained_s = 1000.0;
+  DriftDetector det(ref, opts, 0.0);
+  EXPECT_TRUE(det.Evaluate(drifted, 1.0));
+  EXPECT_EQ(det.trips(), 1u);
+  EXPECT_EQ(det.sustained_trips(), 0u);
+}
+
 TEST(DriftDetectorTest, InfiniteThresholdNeverTrips) {
   WorkloadSet ref = TwoObjectSet(100, 64 * kKiB, 100, 64 * kKiB);
   DriftOptions opts;
@@ -465,6 +552,33 @@ TEST(AutopilotSpecTest, RoundTripsThroughToString) {
   EXPECT_DOUBLE_EQ(again->check_interval_s, 3.0);
   EXPECT_DOUBLE_EQ(again->drift.threshold, 0.3);
   EXPECT_DOUBLE_EQ(again->analyzer.half_life_s, 0.0);
+}
+
+TEST(AutopilotSpecTest, ParsesAndRoundTripsSustainKeys) {
+  auto config = ParseAutopilotSpec("threshold=0.4,sustain=0.7,sustain_s=90");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_DOUBLE_EQ(config->drift.sustained_ratio, 0.7);
+  EXPECT_DOUBLE_EQ(config->drift.sustained_s, 90.0);
+  auto again = ParseAutopilotSpec(AutopilotConfigToString(*config));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_DOUBLE_EQ(again->drift.sustained_ratio, 0.7);
+  EXPECT_DOUBLE_EQ(again->drift.sustained_s, 90.0);
+  // Disabled sustain is not emitted, so defaults round-trip unchanged.
+  auto off = ParseAutopilotSpec(AutopilotConfigToString(AutopilotConfig{}));
+  ASSERT_TRUE(off.ok());
+  EXPECT_DOUBLE_EQ(off->drift.sustained_ratio, 0.0);
+}
+
+TEST(AutopilotSpecTest, RejectsBadSustainValues) {
+  EXPECT_FALSE(ParseAutopilotSpec("sustain=1.5").ok());
+  EXPECT_FALSE(ParseAutopilotSpec("sustain=-0.1").ok());
+  EXPECT_FALSE(ParseAutopilotSpec("sustain=nan").ok());
+  EXPECT_FALSE(ParseAutopilotSpec("sustain_s=0").ok());
+  EXPECT_FALSE(ParseAutopilotSpec("sustain_s=inf").ok());
+  // sustain without a dwell time fails Validate() at end-of-parse.
+  EXPECT_FALSE(ParseAutopilotSpec("sustain=0.7").ok());
+  EXPECT_TRUE(ParseAutopilotSpec("sustain=0.7,sustain_s=60").ok());
+  EXPECT_TRUE(ParseAutopilotSpec("sustain=0").ok());  // 0 disables
 }
 
 TEST(AutopilotSpecTest, ValidateMirrorsParserChecks) {

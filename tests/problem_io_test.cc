@@ -226,5 +226,124 @@ TEST(ProblemIoTest, AutopilotDirectiveErrorsAreLineAndClauseIndexed) {
       ParseProblemText(std::string(kSample) + "autopilot bogus=1\n").ok());
 }
 
+TEST(ProblemIoTest, ParsesFaultsDirective) {
+  std::string text(kSample);
+  text += "faults t=1,target=0,member=0,kind=fail; t=2,target=1,kind=limp, "
+          "scale=0.5\n";
+  auto loaded = ParseProblemText(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->has_faults);
+  EXPECT_EQ(loaded->faults.faults.size(), 2u);
+  // Absent directive leaves the flag unset.
+  auto plain = ParseProblemText(kSample);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->has_faults);
+  // Fault-spec errors surface with the problem file's line prefix.
+  auto bad = ParseProblemText(std::string(kSample) + "faults kind=bogus\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 15"), std::string::npos)
+      << bad.status().ToString();
+  EXPECT_FALSE(ParseProblemText(std::string(kSample) + "faults\n").ok());
+}
+
+// Satellite: the once-only directives must compose in either order and
+// reject duplicates with the first occurrence's line as context.
+TEST(ProblemIoTest, AutopilotAndFaultsComposeInEitherOrder) {
+  const std::string ap = "autopilot interval=1;threshold=0.4\n";
+  const std::string fp = "faults t=1,target=0,member=0,kind=fail\n";
+  for (const std::string& tail : {ap + fp, fp + ap}) {
+    auto loaded = ParseProblemText(std::string(kSample) + tail);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_TRUE(loaded->has_autopilot);
+    EXPECT_TRUE(loaded->has_faults);
+    EXPECT_DOUBLE_EQ(loaded->autopilot.drift.threshold, 0.4);
+    EXPECT_EQ(loaded->faults.faults.size(), 1u);
+  }
+}
+
+TEST(ProblemIoTest, DuplicateDirectivesNameTheFirstOccurrence) {
+  auto dup_ap = ParseProblemText(std::string(kSample) +
+                                 "autopilot threshold=0.4\n"
+                                 "faults t=1,target=0,kind=limp,scale=0.5\n"
+                                 "autopilot threshold=0.5\n");
+  ASSERT_FALSE(dup_ap.ok());
+  EXPECT_NE(dup_ap.status().message().find(
+                "duplicate autopilot directive (first at line 15)"),
+            std::string::npos)
+      << dup_ap.status().ToString();
+  EXPECT_NE(dup_ap.status().message().find("line 17"), std::string::npos);
+
+  auto dup_fp = ParseProblemText(std::string(kSample) +
+                                 "faults t=1,target=0,kind=limp,scale=0.5\n"
+                                 "faults t=2,target=1,kind=limp,scale=0.5\n");
+  ASSERT_FALSE(dup_fp.ok());
+  EXPECT_NE(dup_fp.status().message().find(
+                "duplicate faults directive (first at line 15)"),
+            std::string::npos)
+      << dup_fp.status().ToString();
+}
+
+TEST(ProblemIoTest, ScenarioDirectiveAccumulatesAcrossLines) {
+  std::string text(kSample);
+  text += "scenario duration=30;seed=9\n";
+  text += "scenario tenant=front,objects=0:1,rate=40,write=0.25\n";
+  text += "scenario tenant=back,objects=1:2,rate=5,arrive=10\n";
+  text += "scenario flash=front,at=12,for=3,x=20\n";
+  auto loaded = ParseProblemText(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->has_scenario);
+  EXPECT_DOUBLE_EQ(loaded->scenario.duration_s, 30.0);
+  EXPECT_EQ(loaded->scenario.seed, 9u);
+  ASSERT_EQ(loaded->scenario.tenants.size(), 2u);
+  EXPECT_EQ(loaded->scenario.tenants[1].name, "back");
+  ASSERT_EQ(loaded->scenario.phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded->scenario.phases[0].multiplier, 20.0);
+}
+
+TEST(ProblemIoTest, ScenarioErrorsCarryContext) {
+  // Clause-indexed spec errors pass through with the directive's first
+  // line attached.
+  auto bad = ParseProblemText(std::string(kSample) +
+                              "scenario duration=10\n"
+                              "scenario tenant=a,objects=0:2,rate=frog\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("scenario directive (line 15)"),
+            std::string::npos)
+      << bad.status().ToString();
+  EXPECT_NE(bad.status().message().find("clause 2"), std::string::npos);
+
+  // Object ranges are validated against the declared objects (kSample has
+  // two).
+  auto range = ParseProblemText(
+      std::string(kSample) + "scenario duration=10;tenant=a,objects=0:5,rate=1\n");
+  ASSERT_FALSE(range.ok());
+  EXPECT_NE(range.status().message().find("exceeds catalog size 2"),
+            std::string::npos)
+      << range.status().ToString();
+
+  EXPECT_FALSE(ParseProblemText(std::string(kSample) + "scenario\n").ok());
+}
+
+TEST(ProblemIoTest, FormatLoadedProblemRoundTripsDirectives) {
+  std::string text(kSample);
+  text += "autopilot interval=1;threshold=0.4,sustain=0.7,sustain_s=60\n";
+  text += "faults t=1,target=0,member=0,kind=fail\n";
+  text += "scenario duration=30;tenant=front,objects=0:2,rate=40\n";
+  auto loaded = ParseProblemText(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const std::string rendered = FormatProblemText(*loaded);
+  auto again = ParseProblemText(rendered);
+  ASSERT_TRUE(again.ok()) << rendered << "\n" << again.status().ToString();
+  EXPECT_TRUE(again->has_autopilot);
+  EXPECT_TRUE(again->has_faults);
+  EXPECT_TRUE(again->has_scenario);
+  EXPECT_DOUBLE_EQ(again->autopilot.drift.sustained_ratio, 0.7);
+  EXPECT_EQ(again->faults.faults.size(), 1u);
+  EXPECT_DOUBLE_EQ(again->scenario.duration_s, 30.0);
+  EXPECT_EQ(ScenarioToString(again->scenario),
+            ScenarioToString(loaded->scenario));
+}
+
 }  // namespace
 }  // namespace ldb

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/harness.h"
 #include "core/incremental.h"
 #include "core/problem.h"
 #include "core/replan.h"
@@ -17,11 +18,15 @@
 #include "model/layout.h"
 #include "model/layout_model.h"
 #include "model/target_model.h"
+#include "monitor/online_analyzer.h"
+#include "scenario/player.h"
+#include "scenario/scenario.h"
 #include "solver/projected_gradient.h"
 #include "solver/simplex.h"
 #include "storage/disk.h"
 #include "storage/lvm.h"
 #include "trace/analyzer.h"
+#include "util/check.h"
 #include "util/random.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -805,6 +810,94 @@ TEST_P(GradientProperty, BatchedValueMatchesScalarUtilization) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GradientProperty,
                          ::testing::Range(uint64_t{40}, uint64_t{48}));
+
+// -------------------------------------------- scenario churn snapshots
+
+// Under tenant churn (arrivals mid-run, departures that drive rows to
+// zero) the streaming analyzer's sparse CSR snapshots must stay valid
+// WorkloadSets at every drift-check boundary — the autopilot hands these
+// snapshots straight to the drift detector and the re-advise solver.
+class ScenarioChurnProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScenarioChurnProperty, SnapshotsStayValidAcrossChurn) {
+  constexpr int kObjects = 8;
+  static const ExperimentRig* rig = [] {
+    Catalog catalog;
+    for (int i = 0; i < kObjects; ++i) {
+      catalog.Add({"c" + std::to_string(i), ObjectKind::kTable,
+                   int64_t{16} * 1024 * 1024});
+    }
+    auto r = ExperimentRig::Create(std::move(catalog), {{"d0"}, {"d1"}},
+                                   1.0, 5);
+    LDB_CHECK(r.ok());
+    return new ExperimentRig(std::move(r).value());
+  }();
+
+  auto spec = ParseScenarioSpec(
+      "duration=10;"
+      "tenant=early,objects=0:4,rate=25,write=0.2,depart=5;"
+      "tenant=late,objects=4:8,rate=25,arrive=3;"
+      "graph=early,communities=2,coaccess=0.6,rewire=2,burst=2");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  spec->seed = GetParam();
+
+  auto segments = BuildTimeline(*spec, kObjects);
+  auto problem = rig->MakeProblem(segments.front().workloads);
+  ASSERT_TRUE(problem.ok()) << problem.status().ToString();
+  const Layout see = Layout::StripeEverythingEverywhere(kObjects, 2);
+  auto placements = LayoutToPlacements(*problem, see);
+  ASSERT_TRUE(placements.ok());
+  auto system = rig->MakeSystem();
+  auto volumes = StripedVolumeManager::Create(
+      problem->object_sizes, std::move(placements).value(),
+      system->capacities(), problem->lvm_stripe_bytes);
+  ASSERT_TRUE(volumes.ok());
+  PassthroughRouter router(&volumes.value());
+
+  OnlineAnalyzerOptions aopts;
+  aopts.half_life_s = 1.0;  // fast decay so departures actually zero rows
+  aopts.sparse_overlap = true;
+  OnlineAnalyzer analyzer(kObjects, aopts);
+
+  ScenarioPlayer player(system.get(), &router, *spec);
+  player.set_logical_observer(
+      [&](const IoEvent& ev) { analyzer.Observe(ev); });
+
+  // Snapshot at every simulated drift-check boundary, the way the
+  // autopilot's periodic tick does.
+  int checks = 0;
+  double early_rate_at_depart = -1.0;
+  double early_rate_at_end = -1.0;
+  for (double t = 0.5; t < spec->duration_s + 1e-9; t += 0.5) {
+    system->queue().ScheduleAt(t, [&, t]() {
+      const WorkloadSet snap = analyzer.Snapshot();
+      ++checks;
+      EXPECT_TRUE(ValidateWorkloadSet(snap).ok()) << "t=" << t;
+      double early = 0.0;
+      for (int i = 0; i < 4; ++i) {
+        early += snap[static_cast<size_t>(i)].read_rate +
+                 snap[static_cast<size_t>(i)].write_rate;
+      }
+      if (t == 5.0) early_rate_at_depart = early;
+      if (t == 10.0) early_rate_at_end = early;
+    });
+  }
+  auto run = player.Play();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(checks, 20);
+  EXPECT_GT(analyzer.events(), 0u);
+
+  // The departed tenant's rows decayed through the sparse path: five
+  // half-lives after departure its rates are a small fraction of what
+  // they were when it left.
+  ASSERT_GE(early_rate_at_depart, 0.0);
+  ASSERT_GE(early_rate_at_end, 0.0);
+  EXPECT_GT(early_rate_at_depart, 0.0);
+  EXPECT_LT(early_rate_at_end, 0.2 * early_rate_at_depart);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioChurnProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{6}));
 
 }  // namespace
 }  // namespace ldb

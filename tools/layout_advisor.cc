@@ -11,12 +11,13 @@
 //                  [--faults=<spec>] [--replan]
 //                  [--migrate] [--migrate-throttle=<MB/s>]
 //                  [--autopilot[=<spec>]] [--drift-threshold=<x>]
-//                  [--autopilot-duration=<s>]
+//                  [--autopilot-duration=<s>] [--scenario]
 //
 // --faults=<spec> parses a deterministic fault plan (see
 // src/storage/fault.h for the grammar, e.g.
 // "t=1,target=0,member=0,kind=fail") and reports the surviving health of
-// every target. With --replan, the advisor additionally runs
+// every target. A `faults` directive in the problem file is used when the
+// flag is absent (the flag takes precedence). With --replan, the advisor additionally runs
 // failure-aware re-layout: the recommended layout is replanned around the
 // failed/derated targets and the migration plan (bytes to move) is
 // printed. --replan without --faults replans against all-healthy targets
@@ -53,6 +54,13 @@
 // --migrate-throttle (rate-limits autopilot-started copies and prices the
 // gate). --autopilot-duration=<s> sets the simulated foreground duration.
 //
+// --scenario plays the problem file's `scenario` directive (a declarative
+// time-varying multi-tenant workload; see src/scenario/scenario.h for the
+// grammar) against the simulated rebuild of the targets with the SEE
+// baseline deployed: statically on its own, or under the closed autopilot
+// loop when combined with --autopilot. Composes with --faults /
+// `faults` directive (same simulated system).
+//
 // --calibration-cache=<dir> persists calibrated device cost models across
 // invocations (keyed by device parameters + calibration options), so
 // repeated runs skip the Section 5.2.2 measurement entirely.
@@ -75,6 +83,7 @@
 #include "core/problem_io.h"
 #include "core/replan.h"
 #include "monitor/autopilot_spec.h"
+#include "scenario/sim.h"
 #include "storage/fault.h"
 
 int main(int argc, char** argv) {
@@ -84,7 +93,8 @@ int main(int argc, char** argv) {
                  "usage: %s <problem-file> [--no-regularize] [--seeds=<n>] "
                  "[--compare-see] [--threads=<n>] [--gradient=<analytic|fd>] "
                  "[--calibration-cache=<dir>] [--faults=<spec>] [--replan] "
-                 "[--migrate] [--migrate-throttle=<MB/s>]\n",
+                 "[--migrate] [--migrate-throttle=<MB/s>] "
+                 "[--autopilot[=<spec>]] [--scenario]\n",
                  argv[0]);
     return 2;
   }
@@ -94,6 +104,7 @@ int main(int argc, char** argv) {
   bool replan = false;
   bool migrate = false;
   bool autopilot = false;
+  bool scenario = false;
   bool has_autopilot_spec = false;
   bool has_drift_threshold = false;
   double migrate_throttle_mbps = 0.0;
@@ -145,6 +156,8 @@ int main(int argc, char** argv) {
       autopilot_spec = argv[a] + 12;
     } else if (std::strcmp(argv[a], "--autopilot") == 0) {
       autopilot = true;
+    } else if (std::strcmp(argv[a], "--scenario") == 0) {
+      scenario = true;
     } else if (std::strncmp(argv[a], "--autopilot-duration=", 21) == 0) {
       autopilot = true;
       autopilot_duration_s = std::atof(argv[a] + 21);
@@ -210,18 +223,24 @@ int main(int argc, char** argv) {
         100 * result->max_utilization_final);
   }
 
-  if (!faults_spec.empty() || replan || migrate || autopilot) {
+  if (!faults_spec.empty() || loaded->has_faults || replan || migrate ||
+      autopilot || scenario) {
     TargetHealth health =
         TargetHealth::Healthy(loaded->problem.num_targets());
     FaultPlan plan;
-    if (!faults_spec.empty()) {
-      auto parsed = ParseFaultPlan(faults_spec);
-      if (!parsed.ok()) {
-        std::fprintf(stderr, "--faults: %s\n",
-                     parsed.status().ToString().c_str());
-        return 1;
+    if (!faults_spec.empty() || loaded->has_faults) {
+      if (!faults_spec.empty()) {
+        // The CLI flag takes precedence over a `faults` directive.
+        auto parsed = ParseFaultPlan(faults_spec);
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "--faults: %s\n",
+                       parsed.status().ToString().c_str());
+          return 1;
+        }
+        plan = *parsed;
+      } else {
+        plan = loaded->faults;
       }
-      plan = *parsed;
       health = HealthFromFaultPlan(plan, loaded->problem.targets);
       std::printf("Fault plan: %s\n", FaultPlanToString(plan).c_str());
       for (int j = 0; j < loaded->problem.num_targets(); ++j) {
@@ -305,7 +324,7 @@ int main(int argc, char** argv) {
         std::printf("  skipped fault: %s\n", s.c_str());
       }
     }
-    if (autopilot) {
+    if (autopilot || scenario) {
       AutopilotOptions aopts;
       if (has_autopilot_spec) {
         auto cfg = ParseAutopilotSpec(autopilot_spec);
@@ -328,6 +347,55 @@ int main(int argc, char** argv) {
       aopts.migrate.max_bg_share = 0.5;
       aopts.advisor = options;
       const Layout see = SeeBaseline(loaded->problem);
+      if (scenario) {
+        if (!loaded->has_scenario) {
+          std::fprintf(stderr,
+                       "--scenario: the problem file has no scenario "
+                       "directive\n");
+          return 2;
+        }
+        auto out = SimulateProblemScenario(
+            loaded->problem, see, loaded->scenario, plan,
+            autopilot ? &aopts : nullptr);
+        if (!out.ok()) {
+          std::fprintf(stderr, "--scenario: %s\n",
+                       out.status().ToString().c_str());
+          return 1;
+        }
+        std::printf(
+            "Scenario (%s, %s): %llu arrivals, %llu requests submitted "
+            "(%llu shed), %llu completed over %.2f s simulated\n",
+            ScenarioToString(loaded->scenario).c_str(),
+            autopilot ? "autopilot" : "static",
+            static_cast<unsigned long long>(out->play.arrivals),
+            static_cast<unsigned long long>(out->play.requests),
+            static_cast<unsigned long long>(out->play.shed),
+            static_cast<unsigned long long>(out->run.total_requests),
+            out->run.elapsed_seconds);
+        for (size_t j = 0; j < out->run.utilization.size(); ++j) {
+          std::printf("  target %-12s measured utilization %.1f%%\n",
+                      loaded->problem.targets[j].name.c_str(),
+                      100 * out->run.utilization[j]);
+        }
+        if (out->has_autopilot) {
+          for (const AutopilotDecision& d : out->autopilot.decisions) {
+            std::printf(
+                "  t=%7.2f drift=%.3f max-util %.1f%% -> %.1f%%, %.1f MB "
+                "to move: %s\n",
+                d.time, d.score, 100 * d.current_max_util,
+                100 * d.advised_max_util,
+                d.migration_bytes / (1024.0 * 1024.0), d.note.c_str());
+          }
+          std::printf(
+              "  migrations: %d started, %d completed, %d suppressed by "
+              "gate; %.1f MB copied\n",
+              out->autopilot.migrations_started,
+              out->autopilot.migrations_completed,
+              out->autopilot.migrations_suppressed,
+              out->autopilot.bytes_copied / (1024.0 * 1024.0));
+        }
+        return 0;
+      }
       auto ap = SimulateProblemAutopilot(loaded->problem, see, plan, aopts,
                                          autopilot_duration_s);
       if (!ap.ok()) {
