@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/journal.h"
 #include "core/replan.h"
 #include "core/sim_setup.h"
 #include "model/target_model.h"
@@ -60,6 +61,7 @@ struct Controller {
 
   bool run_active = true;   ///< workload still logically running
   bool frozen = false;      ///< an abort froze routing; stop acting
+  ControlJournal* journal = nullptr;  ///< durable control plane, or null
   AutopilotReport* report = nullptr;
 
   PassthroughRouter* current_passthrough() {
@@ -67,6 +69,15 @@ struct Controller {
   }
 
   void AdoptCompleted() {
+    if (journal != nullptr) {
+      // Checkpoint before adopting (write-ahead). A failed append is
+      // process death: the in-memory adoption still happens — the commit
+      // record already switched authority durably, and the intent record
+      // carries the same layout — but the controller stops acting.
+      const Status ckpt = journal->AppendCheckpoint(
+          system->queue().Now(), pending_layout, pending_reference);
+      if (!ckpt.ok()) frozen = true;
+    }
     current_layout = pending_layout;
     current_manager = pending_manager;
     router->set_delegate(current_passthrough());
@@ -168,6 +179,18 @@ void Controller::Decide(WorkloadSet live, double now) {
              /*count=*/true);
     return;
   }
+  uint64_t plan_digest = 0;
+  if (journal != nullptr) {
+    std::vector<std::vector<int>> from_placements;
+    from_placements.reserve(problem->object_sizes.size());
+    for (size_t i = 0; i < problem->object_sizes.size(); ++i) {
+      from_placements.push_back(
+          managers[current_manager]->targets_of(static_cast<int>(i)));
+    }
+    plan_digest =
+        MigrationPlanDigest(problem->object_sizes, from_placements,
+                            to_placements.value(), options->migrate.chunk_bytes);
+  }
   auto dest = StripedVolumeManager::Create(
       problem->object_sizes, std::move(to_placements).value(),
       system->capacities(), problem->lvm_stripe_bytes);
@@ -192,6 +215,27 @@ void Controller::Decide(WorkloadSet live, double now) {
   passthroughs.push_back(
       std::make_unique<PassthroughRouter>(managers.back().get()));
   executors.push_back(std::move(created).value());
+  if (journal != nullptr) {
+    // Durable intent before any copy I/O: a restarted process can tell a
+    // committed-but-uncheckpointed migration (intent + commit record →
+    // deploy the intent layout) from an abandoned one (source is still
+    // authoritative → deploy the last checkpoint).
+    const Status intent =
+        journal->AppendIntent(plan_digest, candidate, live);
+    if (!intent.ok()) {
+      // Process death before the migration started: nothing was copied,
+      // the deployed layout stands. Freeze the control plane.
+      frozen = true;
+      executors.pop_back();
+      passthroughs.pop_back();
+      managers.pop_back();
+      d.note = StrFormat("journal crash before migration start: %s",
+                         intent.message().c_str());
+      report->decisions.push_back(std::move(d));
+      return;
+    }
+    executors.back()->set_journal_sink(journal);
+  }
   active = executors.back().get();
   pending_layout = candidate;
   pending_manager = managers.size() - 1;
@@ -220,6 +264,13 @@ void Tick(Controller* c) {
   ++c->report->ticks;
   const double now = c->system->queue().Now();
 
+  if (c->active != nullptr && c->active->journal_failed()) {
+    // The executor froze on a journal crash mid-migration. Its per-chunk
+    // routing is the last consistent view, so it stays spliced in; the
+    // control plane stops acting (recovery is a restarted process's job).
+    c->frozen = true;
+    c->active = nullptr;
+  }
   if (c->active != nullptr) {
     switch (c->active->outcome()) {
       case MigrationOutcome::kNotStarted:
@@ -277,11 +328,64 @@ Result<AutopilotReport> RunAutopilotLoop(
     const AutopilotForegroundDriver& foreground) {
   LDB_RETURN_IF_ERROR(problem.Validate());
   LDB_RETURN_IF_ERROR(options.config.Validate());
+  if (options.resume && options.journal_path.empty()) {
+    return Status::InvalidArgument(
+        "autopilot: --resume requires a journal path");
+  }
+
+  // Durable control plane: recover the deployed layout + drift reference
+  // from the journal (resume), and bind the journal to this problem so a
+  // later --resume against a different problem file is rejected.
+  Layout deployed = initial_layout;
+  WorkloadSet reference = problem.workloads;
+  std::unique_ptr<ControlJournal> journal;
+  bool resumed = false;
+  if (!options.journal_path.empty()) {
+    auto opened =
+        ControlJournal::Open(options.journal_path, options.journal_crash);
+    if (!opened.ok()) return opened.status();
+    journal = std::move(opened).value();
+    const uint64_t digest = ProblemStateDigest(problem);
+    const RecoveredControlState& rec = journal->recovered();
+    if (options.resume) {
+      if (rec.has_problem && rec.problem_digest != digest) {
+        return Status::FailedPrecondition(StrFormat(
+            "journal %s was recorded for a different problem (journal "
+            "digest %llx, problem digest %llx); refusing to resume",
+            options.journal_path.c_str(),
+            static_cast<unsigned long long>(rec.problem_digest),
+            static_cast<unsigned long long>(digest)));
+      }
+      Layout recovered_layout(1, 1);
+      WorkloadSet recovered_reference;
+      if (ResolveDeployedState(rec, &recovered_layout,
+                               &recovered_reference)) {
+        if (recovered_layout.num_objects() != problem.num_objects() ||
+            recovered_layout.num_targets() != problem.num_targets()) {
+          return Status::FailedPrecondition(StrFormat(
+              "journal %s checkpoints a %dx%d layout but the problem is "
+              "%dx%d; refusing to resume",
+              options.journal_path.c_str(), recovered_layout.num_objects(),
+              recovered_layout.num_targets(), problem.num_objects(),
+              problem.num_targets()));
+        }
+        deployed = std::move(recovered_layout);
+        reference = std::move(recovered_reference);
+        resumed = true;
+      }
+    }
+    if (!rec.has_problem || rec.problem_digest != digest) {
+      const Status bind = journal->AppendProblemBinding(digest);
+      // A simulated crash during binding means the process died at t=0;
+      // the run proceeds with a frozen control plane.
+      if (!bind.ok() && !journal->crashed()) return bind;
+    }
+  }
 
   // The initial layout is pre-existing physical state; like a migration
   // source it need not honor pin/separate policy (that can be exactly what
   // drift-driven re-layout later fixes).
-  auto placements = LayoutToPlacements(problem, initial_layout,
+  auto placements = LayoutToPlacements(problem, deployed,
                                        /*check_placement_constraints=*/false);
   if (!placements.ok()) return placements.status();
   auto volumes = StripedVolumeManager::Create(
@@ -290,10 +394,19 @@ Result<AutopilotReport> RunAutopilotLoop(
   if (!volumes.ok()) return volumes.status();
 
   AutopilotReport report;
-  report.initial_layout = initial_layout;
-  report.final_layout = initial_layout;
+  report.initial_layout = deployed;
+  report.final_layout = deployed;
+  report.resumed_from_journal = resumed;
 
-  Controller controller(system, &problem, &options, initial_layout);
+  Controller controller(system, &problem, &options, deployed);
+  controller.journal = journal.get();
+  controller.frozen = journal != nullptr && journal->crashed();
+  if (resumed) {
+    // Rearm the drift detector with the recovered reference (the window
+    // the deployed layout was advised for), not the problem file's.
+    controller.detector.Rearm(reference, system->queue().Now());
+    controller.pending_reference = reference;
+  }
   controller.report = &report;
   controller.managers.push_back(
       std::make_unique<StripedVolumeManager>(std::move(volumes).value()));
@@ -340,19 +453,26 @@ Result<AutopilotReport> RunAutopilotLoop(
   // A migration still in flight at the last tick drains inside the
   // runner's event loop; account for its terminal state here.
   if (controller.active != nullptr) {
-    switch (controller.active->outcome()) {
-      case MigrationOutcome::kCompleted:
-        controller.AdoptCompleted();
-        break;
-      case MigrationOutcome::kRolledBack:
-        controller.HandleRollback();
-        break;
-      case MigrationOutcome::kAborted:
-        controller.HandleAbort();
-        break;
-      case MigrationOutcome::kNotStarted:
-      case MigrationOutcome::kRunning:
-        break;  // unreachable: the pump only idles at a terminal state
+    if (controller.active->journal_failed()) {
+      // Journal crash froze the executor mid-copy; its routing stays the
+      // consistent view and the run ends with the migration unfinished.
+      controller.frozen = true;
+      controller.active = nullptr;
+    } else {
+      switch (controller.active->outcome()) {
+        case MigrationOutcome::kCompleted:
+          controller.AdoptCompleted();
+          break;
+        case MigrationOutcome::kRolledBack:
+          controller.HandleRollback();
+          break;
+        case MigrationOutcome::kAborted:
+          controller.HandleAbort();
+          break;
+        case MigrationOutcome::kNotStarted:
+        case MigrationOutcome::kRunning:
+          break;  // unreachable: the pump only idles at a terminal state
+      }
     }
   }
 
@@ -367,6 +487,11 @@ Result<AutopilotReport> RunAutopilotLoop(
     double sum = 0.0;
     for (double l : latencies) sum += l;
     report.fg_mean_latency_s = sum / static_cast<double>(latencies.size());
+  }
+  if (journal != nullptr) {
+    report.journal_crashed = journal->crashed();
+    report.journal_records = journal->records_total();
+    report.journal_bytes = journal->file_bytes();
   }
   return report;
 }

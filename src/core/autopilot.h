@@ -40,6 +40,16 @@ struct AutopilotOptions {
   /// — bench_scenarios uses them to score the autopilot per scenario
   /// segment. Times past the end of the run record the final layout.
   std::vector<double> layout_sample_times;
+  /// Durable control plane: path of the WAL the controller checkpoints
+  /// adopted layouts (and the executor journals transitions) into. Empty =
+  /// no durability; state lives and dies with the process.
+  std::string journal_path;
+  /// Deterministic crash injection for the journal writer (tests/CLI).
+  WalCrashPolicy journal_crash;
+  /// Recover `journal_path` on startup: deploy the last checkpointed (or
+  /// committed-but-uncheckpointed) layout and its drift reference instead
+  /// of the caller's initial layout. Requires a non-empty journal_path.
+  bool resume = false;
 };
 
 /// One controller decision, recorded at every drift trip.
@@ -83,6 +93,13 @@ struct AutopilotReport {
   std::vector<std::string> skipped_faults;
   /// One entry per AutopilotOptions::layout_sample_times, in order.
   std::vector<LayoutSample> sampled_layouts;
+  /// Durable journal accounting (zero/false without a journal_path).
+  bool journal_crashed = false;  ///< injected crash froze the control plane
+  int64_t journal_records = 0;   ///< records in the WAL at end of run
+  int64_t journal_bytes = 0;     ///< WAL file size at end of run
+  /// True when --resume recovered a deployed layout from the journal
+  /// (initial_layout then reflects the recovered state, not the caller's).
+  bool resumed_from_journal = false;
 
   AutopilotReport() : initial_layout(1, 1), final_layout(1, 1) {}
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/journal.h"
 #include "core/sim_setup.h"
 #include "storage/disk.h"
 #include "storage/ssd.h"
@@ -255,14 +256,32 @@ int64_t MigrationExecutor::object_size(ObjectId i) const {
 
 const MigrationStats& MigrationExecutor::stats() const { return stats_; }
 
-void MigrationExecutor::Journal(JournalKind kind, int object, int64_t chunk) {
-  journal_.push_back(JournalRecord{kind, object, chunk});
+bool MigrationExecutor::Journal(JournalKind kind, int object, int64_t chunk) {
+  if (journal_failed_) return false;
+  const JournalRecord rec{kind, object, chunk};
+  if (journal_sink_ != nullptr) {
+    const Status s = journal_sink_->Append(rec);
+    if (!s.ok()) {
+      // The durable intent could not be recorded: behave as if the process
+      // died here. Freeze — the transition must NOT take effect, and no
+      // further copies are issued. Recovery replays the on-disk prefix.
+      journal_failed_ = true;
+      journal_failure_ = s;
+      paused_ = true;
+      work_.clear();
+      work_head_ = 0;
+      return false;
+    }
+  }
+  journal_.push_back(rec);
+  return true;
 }
 
 void MigrationExecutor::Start() {
+  if (journal_failed_) return;
   paused_ = false;
   if (outcome_ == MigrationOutcome::kNotStarted) {
-    Journal(JournalKind::kBeginMigration, -1, -1);
+    if (!Journal(JournalKind::kBeginMigration, -1, -1)) return;
     outcome_ = MigrationOutcome::kRunning;
     for (size_t pi = 0; pi < plans_.size(); ++pi) {
       const ObjectPlan& plan = plans_[pi];
@@ -314,7 +333,9 @@ void MigrationExecutor::SchedulePump(double delay_s) {
 }
 
 void MigrationExecutor::Pump() {
-  if (outcome_ != MigrationOutcome::kRunning || paused_) return;
+  if (outcome_ != MigrationOutcome::kRunning || paused_ || journal_failed_) {
+    return;
+  }
   while (work_head_ < work_.size() &&
          inflight_chunks_ < options_.max_inflight_chunks) {
     const auto [pi, ci] = work_[work_head_];
@@ -394,9 +415,11 @@ void MigrationExecutor::IssueCopy(size_t plan_index, size_t chunk_index) {
   Chunk& c = plan.chunks[chunk_index];
   LDB_CHECK(c.state == ChunkState::kPending);
   if (!c.begun) {
+    if (!Journal(JournalKind::kBeginChunk, plan.object,
+                 static_cast<int64_t>(chunk_index))) {
+      return;  // frozen; the chunk stays pending for recovery to re-copy
+    }
     c.begun = true;
-    Journal(JournalKind::kBeginChunk, plan.object,
-            static_cast<int64_t>(chunk_index));
   }
   c.state = ChunkState::kReading;
   c.read_version = c.cur_version;
@@ -446,9 +469,9 @@ void MigrationExecutor::FinishCopyRead(size_t plan_index, size_t chunk_index,
                                        const Status& status) {
   ObjectPlan& plan = plans_[plan_index];
   Chunk& c = plan.chunks[chunk_index];
-  if (outcome_ != MigrationOutcome::kRunning) {
+  if (outcome_ != MigrationOutcome::kRunning || journal_failed_) {
     --inflight_chunks_;
-    return;  // a terminal transition already froze routing
+    return;  // a terminal transition (or journal crash) froze the executor
   }
   if (!status.ok()) {
     --inflight_chunks_;
@@ -469,7 +492,7 @@ void MigrationExecutor::FinishCopyRead(size_t plan_index, size_t chunk_index,
 void MigrationExecutor::FinishCopyWrite(size_t plan_index, size_t chunk_index,
                                         const Status& status) {
   --inflight_chunks_;
-  if (outcome_ != MigrationOutcome::kRunning) return;
+  if (outcome_ != MigrationOutcome::kRunning || journal_failed_) return;
   ObjectPlan& plan = plans_[plan_index];
   Chunk& c = plan.chunks[chunk_index];
   if (!status.ok()) {
@@ -480,11 +503,13 @@ void MigrationExecutor::FinishCopyWrite(size_t plan_index, size_t chunk_index,
   if (c.dirty) {
     // A foreground write landed while the copy was in flight: the
     // destination holds a stale version. Re-queue the chunk.
+    if (!Journal(JournalKind::kRecopyChunk, plan.object,
+                 static_cast<int64_t>(chunk_index))) {
+      return;  // frozen; begun-without-commit chunks are re-copied anyway
+    }
     c.dirty = false;
     c.state = ChunkState::kPending;
     ++stats_.chunks_recopied;
-    Journal(JournalKind::kRecopyChunk, plan.object,
-            static_cast<int64_t>(chunk_index));
     work_.emplace_back(plan_index, chunk_index);
     Pump();
     return;
@@ -498,13 +523,17 @@ void MigrationExecutor::FinishCopyWrite(size_t plan_index, size_t chunk_index,
 void MigrationExecutor::CommitChunk(size_t plan_index, size_t chunk_index) {
   ObjectPlan& plan = plans_[plan_index];
   Chunk& c = plan.chunks[chunk_index];
+  if (!Journal(JournalKind::kCommitChunk, plan.object,
+               static_cast<int64_t>(chunk_index))) {
+    return;  // frozen; the chunk stays kWriting, recovery re-copies it
+  }
   c.state = ChunkState::kCommitted;
-  Journal(JournalKind::kCommitChunk, plan.object,
-          static_cast<int64_t>(chunk_index));
   ++stats_.chunks_committed;
   ++plan.committed;
   if (plan.committed == static_cast<int64_t>(plan.chunks.size())) {
-    Journal(JournalKind::kCommitObject, plan.object, -1);
+    // Object commits are derivable from their chunk commits, so a frozen
+    // append here loses no recovery information — stop quietly.
+    if (!Journal(JournalKind::kCommitObject, plan.object, -1)) return;
     ++stats_.objects_committed;
     ++objects_done_;
   }
@@ -516,18 +545,21 @@ void MigrationExecutor::CommitChunk(size_t plan_index, size_t chunk_index) {
 }
 
 void MigrationExecutor::Complete() {
+  // Write-ahead: authority switches to the destination only once the
+  // commit record is durable. A frozen append leaves the executor running
+  // (source authoritative) for recovery to finish.
+  if (!Journal(JournalKind::kCommitMigration, -1, -1)) return;
   outcome_ = MigrationOutcome::kCompleted;
-  Journal(JournalKind::kCommitMigration, -1, -1);
   stats_.end_time = system_->Now();
   if (commit_hook_) commit_hook_();
 }
 
 void MigrationExecutor::Rollback(int target, const std::string& reason) {
   if (outcome_ != MigrationOutcome::kRunning) return;
+  if (!Journal(JournalKind::kRollbackMigration, -1, -1)) return;
   outcome_ = MigrationOutcome::kRolledBack;
   failed_target_ = target;
   failure_reason_ = reason;
-  Journal(JournalKind::kRollbackMigration, -1, -1);
   stats_.end_time = system_->Now();
   // The source is authoritative for every chunk: foreground writes always
   // landed there, so no data is lost.
@@ -541,10 +573,10 @@ void MigrationExecutor::Rollback(int target, const std::string& reason) {
 
 void MigrationExecutor::Abort(int target, const std::string& reason) {
   if (outcome_ != MigrationOutcome::kRunning) return;
+  if (!Journal(JournalKind::kAbortMigration, -1, -1)) return;
   outcome_ = MigrationOutcome::kAborted;
   failed_target_ = target;
   failure_reason_ = reason;
-  Journal(JournalKind::kAbortMigration, -1, -1);
   stats_.end_time = system_->Now();
   // Committed chunks keep serving the destination; the rest stay pointed
   // at the (possibly broken) source — re-planning is the caller's move.
@@ -719,6 +751,12 @@ Result<MigrationRunReport> RunMigrationSim(
     std::vector<std::vector<int>> to_placements, int64_t lvm_stripe_bytes,
     const OlapSpec* olap, const OltpSpec* oltp, double oltp_duration_s,
     const FaultPlan& faults, const MigrateOptions& options, uint64_t seed) {
+  if (options.resume && options.journal_path.empty()) {
+    return Status::InvalidArgument(
+        "migrate: --resume requires a journal path");
+  }
+  const uint64_t plan_digest = MigrationPlanDigest(
+      object_sizes, from_placements, to_placements, options.chunk_bytes);
   auto source = StripedVolumeManager::Create(
       object_sizes, std::move(from_placements), system->capacities(),
       lvm_stripe_bytes);
@@ -728,10 +766,45 @@ Result<MigrationRunReport> RunMigrationSim(
       lvm_stripe_bytes);
   if (!destination.ok()) return destination.status();
 
-  auto created =
-      MigrationExecutor::Create(system, &*source, &*destination, options);
-  if (!created.ok()) return created.status();
-  std::unique_ptr<MigrationExecutor> exec = std::move(created).value();
+  // Durable control plane: recover (and digest-check) the journal before
+  // the writer truncates its torn tail, then open it for appending.
+  std::unique_ptr<ControlJournal> journal;
+  std::unique_ptr<MigrationExecutor> exec;
+  int64_t resumed_records = 0;
+  if (!options.journal_path.empty()) {
+    MigrationJournal recovered;
+    if (options.resume) {
+      auto prior = RecoverMigrationJournal(options.journal_path, plan_digest);
+      if (!prior.ok()) return prior.status();
+      recovered = std::move(prior).value();
+      resumed_records = static_cast<int64_t>(recovered.size());
+    }
+    auto opened =
+        ControlJournal::Open(options.journal_path, options.journal_crash);
+    if (!opened.ok()) return opened.status();
+    journal = std::move(opened).value();
+    if (options.resume) {
+      auto resumed = MigrationExecutor::Resume(system, &*source, &*destination,
+                                               options, recovered);
+      if (!resumed.ok()) return resumed.status();
+      exec = std::move(resumed).value();
+    } else {
+      const Status bind = journal->AppendPlanBinding(plan_digest);
+      // A simulated crash during binding means the process died at t=0:
+      // the run proceeds and freezes on the executor's first record.
+      if (!bind.ok() && !journal->crashed()) return bind;
+      auto created =
+          MigrationExecutor::Create(system, &*source, &*destination, options);
+      if (!created.ok()) return created.status();
+      exec = std::move(created).value();
+    }
+    exec->set_journal_sink(journal.get());
+  } else {
+    auto created =
+        MigrationExecutor::Create(system, &*source, &*destination, options);
+    if (!created.ok()) return created.status();
+    exec = std::move(created).value();
+  }
 
   // Arm faults before the run (fault times are run-start-relative; the
   // runner's target Reset preserves fault RNG seeds and retry policy).
@@ -771,6 +844,17 @@ Result<MigrationRunReport> RunMigrationSim(
   report.failed_target = exec->failed_target();
   report.failure_reason = exec->failure_reason();
   report.readable = exec->CheckReadable();
+  report.resumed_records = resumed_records;
+  if (journal != nullptr) {
+    report.journal_crashed = journal->crashed() || exec->journal_failed();
+    report.journal_records = journal->records_total();
+    report.journal_bytes = journal->file_bytes();
+    if (exec->journal_failed()) {
+      report.journal_error = exec->journal_failure().message();
+    } else if (journal->crashed()) {
+      report.journal_error = "wal: simulated crash";
+    }
+  }
   report.fg_requests = static_cast<uint64_t>(latencies.size());
   if (!latencies.empty()) {
     double sum = 0.0;

@@ -14,6 +14,7 @@
 #include "storage/storage_system.h"
 #include "util/status.h"
 #include "util/units.h"
+#include "util/wal.h"
 #include "workload/runner.h"
 #include "workload/spec.h"
 
@@ -69,6 +70,21 @@ struct JournalRecord {
 
 using MigrationJournal = std::vector<JournalRecord>;
 
+/// Durable sink for journal records. The executor calls Append *before*
+/// the corresponding state transition takes effect (write-ahead), so a
+/// sink's on-disk log is always a prefix of the applied transitions and
+/// replaying it through Resume() reconstructs a consistent executor.
+/// Commit-point durability (fsync) is the sink's policy; see
+/// ControlJournal in core/journal.h. A failed Append is treated as
+/// process death: the executor freezes without applying the transition.
+class JournalSink {
+ public:
+  virtual ~JournalSink() = default;
+  virtual Status Append(const JournalRecord& record) = 0;
+  /// Explicit durability barrier (sinks may also sync inside Append).
+  virtual Status Sync() = 0;
+};
+
 /// Knobs of the migration executor.
 struct MigrateOptions {
   /// Copy granularity; also the state-machine/journal granularity.
@@ -90,6 +106,15 @@ struct MigrateOptions {
   /// Simulated seconds to wait after run start before copying begins
   /// (honored by the harness entry points, which schedule Start()).
   double start_delay_s = 0.0;
+  /// Durable control plane (harness entry points): path of the WAL every
+  /// JournalRecord is serialized into before taking effect. Empty =
+  /// in-memory journaling only.
+  std::string journal_path;
+  /// Deterministic crash injection for the journal writer (tests/CLI).
+  WalCrashPolicy journal_crash;
+  /// Recover `journal_path` and resume the recorded migration instead of
+  /// starting fresh. Requires a non-empty journal_path.
+  bool resume = false;
 };
 
 /// Progress/impact counters of one migration.
@@ -182,6 +207,18 @@ class MigrationExecutor final : public VolumeRouter {
     commit_hook_ = std::move(hook);
   }
 
+  /// Installs a durable journal sink (must outlive the executor). Every
+  /// subsequent record is appended to the sink before its transition is
+  /// applied; a failed append freezes the executor (see journal_failed()).
+  void set_journal_sink(JournalSink* sink) { journal_sink_ = sink; }
+
+  /// True once a sink append failed: the durable intent could not be
+  /// recorded, so the executor behaves as if the process died — no further
+  /// copies are issued and no more transitions are applied. Routing keeps
+  /// serving from the last consistent state.
+  bool journal_failed() const { return journal_failed_; }
+  const Status& journal_failure() const { return journal_failure_; }
+
   /// Verifies that every byte of every object is currently readable: the
   /// serving location of each chunk holds the latest version and every
   /// target backing it is serviceable. This is the "no instant of
@@ -228,7 +265,10 @@ class MigrationExecutor final : public VolumeRouter {
   void Complete();
   void Rollback(int target, const std::string& reason);
   void Abort(int target, const std::string& reason);
-  void Journal(JournalKind kind, int object, int64_t chunk);
+  /// Appends to the sink (if any) then the in-memory journal. Returns
+  /// false — and freezes the executor — when the sink append failed; the
+  /// caller must not apply the transition in that case.
+  bool Journal(JournalKind kind, int object, int64_t chunk);
 
   /// Submits one copy pass (all target chunks of `range` on one side) and
   /// fires `done` with the first error once all complete.
@@ -255,6 +295,9 @@ class MigrationExecutor final : public VolumeRouter {
   mutable MigrationStats stats_;
   int failed_target_ = -1;
   std::string failure_reason_;
+  JournalSink* journal_sink_ = nullptr;
+  bool journal_failed_ = false;
+  Status journal_failure_;
   std::function<void()> commit_hook_;
   bool paused_ = false;
   bool pump_scheduled_ = false;
@@ -288,6 +331,14 @@ struct MigrationRunReport {
   double fg_p99_s = 0.0;
   /// Fault specs the injector skipped as invalid at fire time.
   std::vector<std::string> skipped_faults;
+  /// Durable journal accounting (zero when MigrateOptions::journal_path is
+  /// empty). `journal_crashed` means the injected crash policy fired and
+  /// the executor froze mid-run; `journal_error` carries the reason.
+  bool journal_crashed = false;
+  int64_t journal_records = 0;   ///< records in the WAL at end of run
+  int64_t journal_bytes = 0;     ///< WAL file size at end of run
+  int64_t resumed_records = 0;   ///< records recovered before this run
+  std::string journal_error;
 };
 
 /// Runs workloads on a fresh system while migrating from `from_placements`

@@ -92,4 +92,45 @@ Result<OltpSpec> SyntheticForeground(const LayoutProblem& problem,
   return fg;
 }
 
+namespace {
+
+uint64_t FnvMixU64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t FnvMixStr(uint64_t h, const std::string& s) {
+  h = FnvMixU64(h, static_cast<uint64_t>(s.size()));
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t ProblemStateDigest(const LayoutProblem& problem) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  h = FnvMixU64(h, static_cast<uint64_t>(problem.num_objects()));
+  h = FnvMixU64(h, static_cast<uint64_t>(problem.num_targets()));
+  h = FnvMixU64(h, static_cast<uint64_t>(problem.lvm_stripe_bytes));
+  for (int64_t s : problem.object_sizes) {
+    h = FnvMixU64(h, static_cast<uint64_t>(s));
+  }
+  for (const AdvisorTarget& t : problem.targets) {
+    h = FnvMixStr(h, t.name);
+    h = FnvMixStr(h, t.cost_model != nullptr ? t.cost_model->device_model()
+                                             : std::string());
+    h = FnvMixU64(h, static_cast<uint64_t>(t.capacity_bytes));
+    h = FnvMixU64(h, static_cast<uint64_t>(t.num_members));
+    h = FnvMixU64(h, static_cast<uint64_t>(t.stripe_bytes));
+    h = FnvMixU64(h, static_cast<uint64_t>(t.raid_level));
+  }
+  return h;
+}
+
 }  // namespace ldb

@@ -13,6 +13,7 @@
 #include "util/check.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
+#include "util/wal.h"
 
 namespace ldb {
 
@@ -213,27 +214,12 @@ std::string CalibrationCachePath(const std::string& dir,
 Status SaveCostModelCache(const std::string& path, uint64_t key,
                           const CostModel& model) {
   // Concurrent savers of the same key write identical bytes, so the only
-  // hazard is a reader seeing a partial file; write-then-rename avoids it.
-  static std::atomic<uint64_t> tmp_counter{0};
-  const std::string tmp =
-      path + ".tmp" + std::to_string(tmp_counter.fetch_add(1));
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      return Status::Internal("cannot write calibration cache file " + tmp);
-    }
-    out << "calibcache v1 " << KeyHex(key) << "\n" << model.ToText();
-    if (!out.good()) {
-      return Status::Internal("short write to " + tmp);
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    return Status::Internal("cannot rename " + tmp + " to " + path);
-  }
-  return Status::Ok();
+  // in-process hazard is a reader seeing a partial file; the durable
+  // write (tmp + fsync + rename + parent-dir fsync) also rules out a
+  // crash leaving a zero-length cache that silently forces recalibration.
+  return WriteFileDurable(path,
+                          "calibcache v1 " + KeyHex(key) + "\n" +
+                              model.ToText());
 }
 
 Result<CostModel> LoadCostModelCache(const std::string& path,

@@ -1,0 +1,45 @@
+# Kill→resume e2e driven through the CLI (see tests/CMakeLists.txt):
+#   1. `--migrate --journal --journal-crash=after=6` must die mid-migration
+#      with exit status 3 (the distinct "journal crash fired" code) and
+#      leave a recoverable journal behind.
+#   2. `--migrate --journal --resume` must recover that journal and run
+#      the same migration to completion, recovering a non-empty prefix.
+# Invoked as `cmake -DADVISOR=... -DPROBLEM=... -DWORKDIR=... -P`.
+
+set(journal "${WORKDIR}/resume_e2e.wal")
+file(REMOVE "${journal}")
+
+execute_process(
+  COMMAND "${ADVISOR}" "${PROBLEM}" --migrate --seeds=2
+          "--journal=${journal}" --journal-crash=after=6
+  RESULT_VARIABLE crash_rc
+  OUTPUT_VARIABLE crash_out
+  ERROR_VARIABLE crash_err)
+if(NOT crash_rc EQUAL 3)
+  message(FATAL_ERROR "crash run: expected exit 3, got ${crash_rc}\n"
+                      "stdout:\n${crash_out}\nstderr:\n${crash_err}")
+endif()
+if(NOT EXISTS "${journal}")
+  message(FATAL_ERROR "crash run left no journal at ${journal}")
+endif()
+
+execute_process(
+  COMMAND "${ADVISOR}" "${PROBLEM}" --migrate --seeds=2
+          "--journal=${journal}" --resume
+  RESULT_VARIABLE resume_rc
+  OUTPUT_VARIABLE resume_out
+  ERROR_VARIABLE resume_err)
+if(NOT resume_rc EQUAL 0)
+  message(FATAL_ERROR "resume run: expected exit 0, got ${resume_rc}\n"
+                      "stdout:\n${resume_out}\nstderr:\n${resume_err}")
+endif()
+if(NOT resume_out MATCHES "Migration \\(SEE -> recommended\\): completed")
+  message(FATAL_ERROR "resume run did not complete the migration:\n"
+                      "${resume_out}")
+endif()
+if(NOT resume_out MATCHES "\\([1-9][0-9]* recovered\\)")
+  message(FATAL_ERROR "resume run recovered no journal records:\n"
+                      "${resume_out}")
+endif()
+
+file(REMOVE "${journal}")

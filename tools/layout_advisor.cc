@@ -12,6 +12,7 @@
 //                  [--migrate] [--migrate-throttle=<MB/s>]
 //                  [--autopilot[=<spec>]] [--drift-threshold=<x>]
 //                  [--autopilot-duration=<s>] [--scenario]
+//                  [--journal=<path>] [--resume] [--journal-crash=<spec>]
 //
 // --faults=<spec> parses a deterministic fault plan (see
 // src/storage/fault.h for the grammar, e.g.
@@ -61,6 +62,19 @@
 // loop when combined with --autopilot. Composes with --faults /
 // `faults` directive (same simulated system).
 //
+// --journal=<path> makes the migration/autopilot control plane durable: a
+// crash-recoverable WAL (src/util/wal.h) records every migration journal
+// entry before it takes effect, plus autopilot intent/checkpoint records.
+// Requires --migrate or --autopilot (with or without --scenario). --resume
+// recovers the journal and continues: a --migrate run resumes the
+// recorded migration from its last committed chunk; an --autopilot run
+// deploys the last checkpointed (or committed-but-uncheckpointed) layout
+// and drift reference. Resuming a journal recorded for a different
+// problem or plan is refused with a digest diagnostic. --journal-crash=
+// <spec> arms deterministic crash injection on the journal writer
+// (grammar "after=N[,torn=K]" / "syncs=S", see ParseWalCrashPolicy); a
+// fired crash exits with status 3 and prints the resume command.
+//
 // --calibration-cache=<dir> persists calibrated device cost models across
 // invocations (keyed by device parameters + calibration options), so
 // repeated runs skip the Section 5.2.2 measurement entirely.
@@ -85,6 +99,7 @@
 #include "monitor/autopilot_spec.h"
 #include "scenario/sim.h"
 #include "storage/fault.h"
+#include "util/wal.h"
 
 int main(int argc, char** argv) {
   using namespace ldb;
@@ -94,7 +109,8 @@ int main(int argc, char** argv) {
                  "[--compare-see] [--threads=<n>] [--gradient=<analytic|fd>] "
                  "[--calibration-cache=<dir>] [--faults=<spec>] [--replan] "
                  "[--migrate] [--migrate-throttle=<MB/s>] "
-                 "[--autopilot[=<spec>]] [--scenario]\n",
+                 "[--autopilot[=<spec>]] [--scenario] "
+                 "[--journal=<path>] [--resume] [--journal-crash=<spec>]\n",
                  argv[0]);
     return 2;
   }
@@ -112,6 +128,9 @@ int main(int argc, char** argv) {
   double autopilot_duration_s = 30.0;
   std::string autopilot_spec;
   std::string faults_spec;
+  std::string journal_path;
+  std::string journal_crash_spec;
+  bool resume = false;
   std::string path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--no-regularize") == 0) {
@@ -158,6 +177,16 @@ int main(int argc, char** argv) {
       autopilot = true;
     } else if (std::strcmp(argv[a], "--scenario") == 0) {
       scenario = true;
+    } else if (std::strncmp(argv[a], "--journal=", 10) == 0) {
+      journal_path = argv[a] + 10;
+      if (journal_path.empty()) {
+        std::fprintf(stderr, "--journal needs a non-empty path\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[a], "--resume") == 0) {
+      resume = true;
+    } else if (std::strncmp(argv[a], "--journal-crash=", 16) == 0) {
+      journal_crash_spec = argv[a] + 16;
     } else if (std::strncmp(argv[a], "--autopilot-duration=", 21) == 0) {
       autopilot = true;
       autopilot_duration_s = std::atof(argv[a] + 21);
@@ -191,6 +220,42 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) {
     std::fprintf(stderr, "no problem file given\n");
+    return 2;
+  }
+  // Journal flag consistency, ParseFaultPlan-style: each misuse names the
+  // offending flag and what it needs.
+  WalCrashPolicy journal_crash;
+  if (resume && journal_path.empty()) {
+    std::fprintf(stderr,
+                 "--resume requires --journal=<path> (there is no journal "
+                 "to recover without one)\n");
+    return 2;
+  }
+  if (!journal_crash_spec.empty() && journal_path.empty()) {
+    std::fprintf(stderr,
+                 "--journal-crash requires --journal=<path> (crash "
+                 "injection targets the journal writer)\n");
+    return 2;
+  }
+  if (!journal_path.empty() && !migrate && !autopilot) {
+    std::fprintf(stderr,
+                 "--journal requires --migrate or --autopilot (only the "
+                 "migration/autopilot control plane journals state)\n");
+    return 2;
+  }
+  if (!journal_crash_spec.empty()) {
+    auto parsed = ParseWalCrashPolicy(journal_crash_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--journal-crash: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    journal_crash = *parsed;
+  }
+  if (migrate && autopilot && !journal_path.empty()) {
+    std::fprintf(stderr,
+                 "--journal cannot serve --migrate and --autopilot in one "
+                 "run (two control planes, one journal); pick one\n");
     return 2;
   }
 
@@ -287,6 +352,9 @@ int main(int argc, char** argv) {
         mopts.bandwidth_bytes_per_s = migrate_throttle_mbps * 1024.0 * 1024.0;
       }
       mopts.max_bg_share = 0.5;
+      mopts.journal_path = journal_path;
+      mopts.journal_crash = journal_crash;
+      mopts.resume = resume;
       const Layout see = SeeBaseline(loaded->problem);
       auto sim = SimulateProblemMigration(loaded->problem, see,
                                           result->final_layout, plan, mopts);
@@ -323,6 +391,22 @@ int main(int argc, char** argv) {
       for (const std::string& s : sim->skipped_faults) {
         std::printf("  skipped fault: %s\n", s.c_str());
       }
+      if (!journal_path.empty()) {
+        std::printf(
+            "  journal: %lld records (%lld recovered), %lld bytes at %s\n",
+            static_cast<long long>(sim->journal_records),
+            static_cast<long long>(sim->resumed_records),
+            static_cast<long long>(sim->journal_bytes), journal_path.c_str());
+        if (sim->journal_crashed) {
+          std::printf(
+              "  journal crash injected (%s); migration frozen pre-crash "
+              "state is durable\n"
+              "  resume with: %s %s --migrate --journal=%s --resume\n",
+              sim->journal_error.c_str(), argv[0], path.c_str(),
+              journal_path.c_str());
+          return 3;
+        }
+      }
     }
     if (autopilot || scenario) {
       AutopilotOptions aopts;
@@ -346,6 +430,9 @@ int main(int argc, char** argv) {
       }
       aopts.migrate.max_bg_share = 0.5;
       aopts.advisor = options;
+      aopts.journal_path = journal_path;
+      aopts.journal_crash = journal_crash;
+      aopts.resume = resume;
       const Layout see = SeeBaseline(loaded->problem);
       if (scenario) {
         if (!loaded->has_scenario) {
@@ -393,6 +480,24 @@ int main(int argc, char** argv) {
               out->autopilot.migrations_completed,
               out->autopilot.migrations_suppressed,
               out->autopilot.bytes_copied / (1024.0 * 1024.0));
+          if (!journal_path.empty()) {
+            std::printf("  journal: %lld records, %lld bytes at %s%s\n",
+                        static_cast<long long>(out->autopilot.journal_records),
+                        static_cast<long long>(out->autopilot.journal_bytes),
+                        journal_path.c_str(),
+                        out->autopilot.resumed_from_journal
+                            ? " (resumed from journal)"
+                            : "");
+            if (out->autopilot.journal_crashed) {
+              std::printf(
+                  "  journal crash injected; control plane frozen, durable "
+                  "state kept\n"
+                  "  resume with: %s %s --scenario --autopilot "
+                  "--journal=%s --resume\n",
+                  argv[0], path.c_str(), journal_path.c_str());
+              return 3;
+            }
+          }
         }
         return 0;
       }
@@ -431,6 +536,21 @@ int main(int argc, char** argv) {
           1e3 * ap->fg_mean_latency_s, ap->final_drift_score);
       for (const std::string& s : ap->skipped_faults) {
         std::printf("  skipped fault: %s\n", s.c_str());
+      }
+      if (!journal_path.empty()) {
+        std::printf("  journal: %lld records, %lld bytes at %s%s\n",
+                    static_cast<long long>(ap->journal_records),
+                    static_cast<long long>(ap->journal_bytes),
+                    journal_path.c_str(),
+                    ap->resumed_from_journal ? " (resumed from journal)" : "");
+        if (ap->journal_crashed) {
+          std::printf(
+              "  journal crash injected; control plane frozen, durable "
+              "state kept\n"
+              "  resume with: %s %s --autopilot --journal=%s --resume\n",
+              argv[0], path.c_str(), journal_path.c_str());
+          return 3;
+        }
       }
     }
   }
