@@ -33,10 +33,16 @@
 // thread counts 1/2/8 (full report fingerprints). Exit is nonzero when
 // either bar fails.
 //
-// --json emits one row per class for tools/bench_record.py.
+// --json emits one row per class for tools/bench_record.py. --journal=<dir>
+// gives every autopilot replay a durable control journal under <dir>,
+// running the whole matrix through the WAL write path (nightly CI does
+// this); journaling must never change a fingerprint.
+
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -121,6 +127,20 @@ struct ClassResult {
 
 int main(int argc, char** argv) {
   const BenchEnv env = ParseBenchEnv(argc, argv);
+  // --journal=<dir>: run every autopilot replay with a durable control
+  // journal under <dir> (one WAL per class x thread count), exercising the
+  // WAL write path — including the scenario-position records — under the
+  // full matrix. Determinism is still enforced: journaling must never
+  // perturb the simulation.
+  std::string journal_dir;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--journal=", 10) == 0) {
+      journal_dir = argv[a] + 10;
+    }
+  }
+  if (!journal_dir.empty()) {
+    ::mkdir(journal_dir.c_str(), 0755);  // best-effort; Open reports errors
+  }
   PrintHeader("Scenarios",
               "adversarial scenario matrix: oracle/static/autopilot/fleet",
               env);
@@ -303,6 +323,11 @@ int main(int argc, char** argv) {
       AutopilotOptions o = LoopOptions(env, sc);
       o.advisor.solver.num_threads = threads;
       o.layout_sample_times = sample_times;
+      if (!journal_dir.empty()) {
+        o.journal_path = journal_dir +
+                         StrFormat("/%s-t%d.wal", sc.name.c_str(), threads);
+        std::remove(o.journal_path.c_str());
+      }
       auto system = rig->MakeSystem();
       auto out = PlayScenarioAutopilot(system.get(), *problem,
                                        static_layout, *spec, FaultPlan{},

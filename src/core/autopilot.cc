@@ -7,6 +7,7 @@
 #include "core/journal.h"
 #include "core/replan.h"
 #include "core/sim_setup.h"
+#include "io/pattern.h"
 #include "model/target_model.h"
 #include "monitor/drift.h"
 #include "monitor/online_analyzer.h"
@@ -202,6 +203,13 @@ void Controller::Decide(WorkloadSet live, double now) {
   }
   managers.push_back(
       std::make_unique<StripedVolumeManager>(std::move(dest).value()));
+  // Real data plane: ping-pong the epoch so the live layout's extents and
+  // the new destination's occupy disjoint file halves during the copy (at
+  // most two layouts are ever live, so two epochs suffice forever).
+  if (options->migrate.data_backend != nullptr) {
+    managers.back()->set_data_epoch(
+        1 - managers[current_manager]->data_epoch());
+  }
   auto created = MigrationExecutor::Create(
       system, managers[current_manager].get(), managers.back().get(),
       options->migrate);
@@ -263,6 +271,17 @@ void Tick(Controller* c) {
   if (!c->run_active) return;
   ++c->report->ticks;
   const double now = c->system->queue().Now();
+
+  // Scenario-clock heartbeat: record the absolute scenario position so a
+  // kill after this instant resumes within one tick of it. Appended (and
+  // synced) before any control decision this tick, mirroring write-ahead
+  // order; a failed append is process death — freeze like the executor.
+  if (c->journal != nullptr && !c->frozen &&
+      c->options->scenario_position_offset_s >= 0.0) {
+    const Status appended = c->journal->AppendScenarioPosition(
+        c->options->scenario_position_offset_s + now);
+    if (!appended.ok()) c->frozen = true;
+  }
 
   if (c->active != nullptr && c->active->journal_failed()) {
     // The executor froze on a journal crash mid-migration. Its per-chunk
@@ -328,6 +347,15 @@ Result<AutopilotReport> RunAutopilotLoop(
     const AutopilotForegroundDriver& foreground) {
   LDB_RETURN_IF_ERROR(problem.Validate());
   LDB_RETURN_IF_ERROR(options.config.Validate());
+  if (options.resume && options.migrate.data_backend != nullptr) {
+    // The recovered layout's data-plane epoch is not journaled, so a
+    // resumed run cannot know which file half holds the live bytes.
+    // Kill/resume with real files is exercised through --migrate, whose
+    // epoch assignment (source 0, destination 1) is static.
+    return Status::FailedPrecondition(
+        "autopilot: resuming with a real data backend is not supported; "
+        "use the file backend with a --migrate resume instead");
+  }
   if (options.resume && options.journal_path.empty()) {
     return Status::InvalidArgument(
         "autopilot: --resume requires a journal path");
@@ -415,6 +443,14 @@ Result<AutopilotReport> RunAutopilotLoop(
   SwitchableRouter router(controller.passthroughs.front().get());
   controller.router = &router;
 
+  // Real data plane: on a fresh run, lay the verification pattern down at
+  // the deployed layout's locations before the loop starts migrating.
+  // Resumed runs keep the bytes the killed process left behind.
+  if (options.migrate.data_backend != nullptr && !options.resume) {
+    LDB_RETURN_IF_ERROR(PopulateBackendPattern(
+        options.migrate.data_backend, controller.passthroughs.front().get()));
+  }
+
   // Faults compose exactly as in the plain and migration harness paths.
   FaultInjector injector(system, faults);
   LDB_RETURN_IF_ERROR(injector.Arm());
@@ -492,6 +528,19 @@ Result<AutopilotReport> RunAutopilotLoop(
     report.journal_crashed = journal->crashed();
     report.journal_records = journal->records_total();
     report.journal_bytes = journal->file_bytes();
+  }
+  // "Every byte readable" on real media, through the live routing chain
+  // (the router delegates to the last adopted manager or frozen executor).
+  if (options.migrate.data_backend != nullptr) {
+    report.real_backend = true;
+    auto verified =
+        VerifyBackendPattern(options.migrate.data_backend, &router);
+    if (verified.ok()) {
+      report.real_readable = Status::Ok();
+      report.real_bytes_verified = *verified;
+    } else {
+      report.real_readable = verified.status();
+    }
   }
   return report;
 }

@@ -50,6 +50,13 @@ struct AutopilotOptions {
   /// committed-but-uncheckpointed) layout and its drift reference instead
   /// of the caller's initial layout. Requires a non-empty journal_path.
   bool resume = false;
+  /// Scenario-clock recording: when >= 0 (and a journal is open), every
+  /// tick appends an `spos` record carrying `offset + now` — the absolute
+  /// scenario position — so a mid-scenario kill/resume can restart the
+  /// player where the dead process left off. The offset is the position
+  /// the scenario was resumed *at* (0 for a fresh run). < 0 disables
+  /// recording (plain workload runs have no scenario clock).
+  double scenario_position_offset_s = -1.0;
 };
 
 /// One controller decision, recorded at every drift trip.
@@ -100,6 +107,10 @@ struct AutopilotReport {
   /// True when --resume recovered a deployed layout from the journal
   /// (initial_layout then reflects the recovered state, not the caller's).
   bool resumed_from_journal = false;
+  /// Real data plane accounting (MigrateOptions::data_backend runs only).
+  bool real_backend = false;        ///< a data backend carried the bytes
+  Status real_readable;             ///< end-of-run pattern verification
+  int64_t real_bytes_verified = 0;  ///< bytes checked against the pattern
 
   AutopilotReport() : initial_layout(1, 1), final_layout(1, 1) {}
 

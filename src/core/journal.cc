@@ -16,6 +16,7 @@ constexpr char kTagPlan[] = "plan";
 constexpr char kTagProblem[] = "pstate";
 constexpr char kTagIntent[] = "intent";
 constexpr char kTagCheckpoint[] = "ckpt";
+constexpr char kTagScenarioPos[] = "spos";
 
 uint64_t FnvMix(uint64_t h, uint64_t v) {
   for (int i = 0; i < 8; ++i) {
@@ -282,6 +283,17 @@ Status ParseControlRecords(const std::vector<std::string>& records,
       out->checkpoint_time = time;
       out->checkpoint_layout = std::move(layout);
       out->checkpoint_reference = std::move(reference);
+    } else if (tag == kTagScenarioPos) {
+      double position = 0.0;
+      if (!p.NextDouble(&position)) {
+        return CorruptRecord(static_cast<int64_t>(idx),
+                             "malformed scenario position record");
+      }
+      // Deliberately not reset by begin_segment(): the scenario clock
+      // outlives migration segments — a resume restores the latest
+      // position regardless of how many migrations ran since.
+      out->has_scenario_position = true;
+      out->scenario_position_s = position;
     } else {
       return CorruptRecord(
           static_cast<int64_t>(idx),
@@ -384,6 +396,12 @@ Status ControlJournal::AppendCheckpoint(double time, const Layout& layout,
   SerializeLayout(layout, &payload);
   SerializeWorkloads(reference, &payload);
   LDB_RETURN_IF_ERROR(writer_->Append(payload));
+  return writer_->Sync();
+}
+
+Status ControlJournal::AppendScenarioPosition(double position_s) {
+  LDB_RETURN_IF_ERROR(writer_->Append(
+      StrFormat("%s %.17g", kTagScenarioPos, position_s)));
   return writer_->Sync();
 }
 

@@ -50,6 +50,13 @@ struct RecoveredControlState {
   double checkpoint_time = 0.0;
   Layout checkpoint_layout = Layout(1, 1);  ///< placeholder until set
   WorkloadSet checkpoint_reference;
+
+  // Scenario clock (last `spos` record, NOT cleared by segment
+  // boundaries): the absolute scenario position a resumed run should
+  // restart the player at, so a mid-scenario kill/resume continues the
+  // scenario timeline instead of replaying it from zero.
+  bool has_scenario_position = false;
+  double scenario_position_s = 0.0;
 };
 
 /// Resolves the layout (and drift reference) a restarted autopilot should
@@ -101,6 +108,10 @@ class ControlJournal final : public JournalSink {
   /// Adopted-layout checkpoint (closes the open segment). Synced.
   Status AppendCheckpoint(double time, const Layout& layout,
                           const WorkloadSet& reference);
+  /// Scenario-clock record: the absolute scenario position (seconds into
+  /// the scenario timeline) as of this append. Synced, so a kill at any
+  /// later instant resumes within one autopilot tick of where it died.
+  Status AppendScenarioPosition(double position_s);
 
   bool crashed() const { return writer_->crashed(); }
   int64_t file_bytes() const { return writer_->file_bytes(); }

@@ -6,6 +6,8 @@
 
 #include "core/journal.h"
 #include "core/sim_setup.h"
+#include "io/backend.h"
+#include "io/pattern.h"
 #include "storage/disk.h"
 #include "storage/ssd.h"
 #include "util/check.h"
@@ -523,6 +525,17 @@ void MigrationExecutor::FinishCopyWrite(size_t plan_index, size_t chunk_index,
 void MigrationExecutor::CommitChunk(size_t plan_index, size_t chunk_index) {
   ObjectPlan& plan = plans_[plan_index];
   Chunk& c = plan.chunks[chunk_index];
+  if (options_.data_backend != nullptr) {
+    // Real data plane: move the chunk's actual bytes before the commit
+    // record, so a journaled commit always implies a copied chunk and
+    // unjournaled chunks are simply re-copied on resume.
+    const Status copied = CopyChunkReal(plan, c);
+    if (!copied.ok()) {
+      Rollback(-1, StrFormat("real chunk copy failed: %s",
+                             copied.message().c_str()));
+      return;
+    }
+  }
   if (!Journal(JournalKind::kCommitChunk, plan.object,
                static_cast<int64_t>(chunk_index))) {
     return;  // frozen; the chunk stays kWriting, recovery re-copies it
@@ -544,7 +557,43 @@ void MigrationExecutor::CommitChunk(size_t plan_index, size_t chunk_index) {
   if (commit_hook_) commit_hook_();
 }
 
+Status MigrationExecutor::CopyChunkReal(const ObjectPlan& plan,
+                                        const Chunk& chunk) {
+  BlockBackend* backend = options_.data_backend;
+  copy_buf_.resize(static_cast<size_t>(chunk.size));
+  scratch_.clear();
+  source_->Map(plan.object, chunk.offset, chunk.size, &scratch_);
+  int64_t filled = 0;
+  for (const TargetChunk& tc : scratch_) {
+    LDB_RETURN_IF_ERROR(
+        backend->ReadSync(tc.target, DataPlaneOffset(backend->geometry(), tc),
+                          tc.size, &copy_buf_[filled]));
+    filled += tc.size;
+  }
+  scratch_.clear();
+  destination_->Map(plan.object, chunk.offset, chunk.size, &scratch_);
+  int64_t drained = 0;
+  for (const TargetChunk& tc : scratch_) {
+    LDB_RETURN_IF_ERROR(backend->WriteSync(
+        tc.target, DataPlaneOffset(backend->geometry(), tc), tc.size,
+        &copy_buf_[drained]));
+    drained += tc.size;
+  }
+  scratch_.clear();
+  return Status::Ok();
+}
+
 void MigrationExecutor::Complete() {
+  // Real data plane: the destination's bytes must be on media before the
+  // commit record makes the new layout authoritative.
+  if (options_.data_backend != nullptr) {
+    const Status synced = options_.data_backend->Sync();
+    if (!synced.ok()) {
+      Rollback(-1, StrFormat("backend sync failed: %s",
+                             synced.message().c_str()));
+      return;
+    }
+  }
   // Write-ahead: authority switches to the destination only once the
   // commit record is durable. A frozen append leaves the executor running
   // (source authoritative) for recovery to finish.
@@ -765,6 +814,12 @@ Result<MigrationRunReport> RunMigrationSim(
       object_sizes, std::move(to_placements), system->capacities(),
       lvm_stripe_bytes);
   if (!destination.ok()) return destination.status();
+  // Real data plane: the destination's extents must land on disjoint media
+  // from the source's (both managers allocate simulated offsets from 0, so
+  // without the epoch shift a destination write would clobber source bytes
+  // that later chunks still read). Same assignment on resume, so recovered
+  // committed chunks are found where the dead process put them.
+  if (options.data_backend != nullptr) destination->set_data_epoch(1);
 
   // Durable control plane: recover (and digest-check) the journal before
   // the writer truncates its torn tail, then open it for appending.
@@ -804,6 +859,17 @@ Result<MigrationRunReport> RunMigrationSim(
         MigrationExecutor::Create(system, &*source, &*destination, options);
     if (!created.ok()) return created.status();
     exec = std::move(created).value();
+  }
+
+  // Real data plane: on a fresh run, lay every object's verification
+  // pattern down at its *source* location before any chunk moves. Resumed
+  // runs inherit the bytes a previous (killed) process wrote — committed
+  // chunks already live at the destination, so re-populating would
+  // clobber exactly the state the resume drill is checking.
+  if (options.data_backend != nullptr && !options.resume) {
+    PassthroughRouter initial(&*source);
+    LDB_RETURN_IF_ERROR(
+        PopulateBackendPattern(options.data_backend, &initial));
   }
 
   // Arm faults before the run (fault times are run-start-relative; the
@@ -853,6 +919,18 @@ Result<MigrationRunReport> RunMigrationSim(
       report.journal_error = exec->journal_failure().message();
     } else if (journal->crashed()) {
       report.journal_error = "wal: simulated crash";
+    }
+  }
+  // "Every byte readable" on real media: read the whole object space back
+  // through the executor's authoritative routing and check the pattern.
+  if (options.data_backend != nullptr) {
+    report.real_backend = true;
+    auto verified = VerifyBackendPattern(options.data_backend, exec.get());
+    if (verified.ok()) {
+      report.real_readable = Status::Ok();
+      report.real_bytes_verified = *verified;
+    } else {
+      report.real_readable = verified.status();
     }
   }
   report.fg_requests = static_cast<uint64_t>(latencies.size());

@@ -20,6 +20,8 @@
 
 namespace ldb {
 
+class BlockBackend;
+
 /// Copy progress of one migration chunk.
 enum class ChunkState {
   kPending,     ///< not copied yet (serves from the old location)
@@ -115,6 +117,15 @@ struct MigrateOptions {
   /// Recover `journal_path` and resume the recorded migration instead of
   /// starting fresh. Requires a non-empty journal_path.
   bool resume = false;
+  /// Real data plane: when set, every chunk commit first copies the
+  /// chunk's actual bytes source → destination through this backend
+  /// (ReadSync/WriteSync), and Complete() issues a backend Sync() before
+  /// the commit record. The simulator remains the timing driver; journal
+  /// semantics are unchanged (the real copy happens *before* kCommitChunk
+  /// is journaled, so journaled-committed implies copied, and unjournaled
+  /// chunks are re-copied idempotently on resume). A real-copy failure
+  /// rolls the migration back. Must outlive the executor.
+  BlockBackend* data_backend = nullptr;
 };
 
 /// Progress/impact counters of one migration.
@@ -262,6 +273,9 @@ class MigrationExecutor final : public VolumeRouter {
   void FinishCopyWrite(size_t plan_index, size_t chunk_index,
                        const Status& status);
   void CommitChunk(size_t plan_index, size_t chunk_index);
+  /// Copies the chunk's real bytes source → destination through
+  /// options_.data_backend (no-op without one).
+  Status CopyChunkReal(const ObjectPlan& plan, const Chunk& chunk);
   void Complete();
   void Rollback(int target, const std::string& reason);
   void Abort(int target, const std::string& reason);
@@ -311,6 +325,7 @@ class MigrationExecutor final : public VolumeRouter {
 
   // Scratch buffers reused across Route/copy submissions.
   std::vector<TargetChunk> scratch_;
+  std::vector<char> copy_buf_;  ///< real-chunk staging (data_backend runs)
 };
 
 /// Everything a migration experiment reports: the foreground run, the
@@ -339,6 +354,10 @@ struct MigrationRunReport {
   int64_t journal_bytes = 0;     ///< WAL file size at end of run
   int64_t resumed_records = 0;   ///< records recovered before this run
   std::string journal_error;
+  /// Real data plane accounting (MigrateOptions::data_backend runs only).
+  bool real_backend = false;        ///< a data backend carried the bytes
+  Status real_readable;             ///< end-of-run pattern verification
+  int64_t real_bytes_verified = 0;  ///< bytes checked against the pattern
 };
 
 /// Runs workloads on a fresh system while migrating from `from_placements`

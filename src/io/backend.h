@@ -1,0 +1,139 @@
+#ifndef LAYOUTDB_IO_BACKEND_H_
+#define LAYOUTDB_IO_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storage/io_request.h"
+#include "storage/lvm.h"
+#include "util/status.h"
+
+namespace ldb {
+
+/// Which engine serves a backend's block I/O.
+enum class BackendKind {
+  kSim,   ///< event-queue simulator (virtual time, no data plane)
+  kFile,  ///< real files / raw devices (wall-clock time, real bytes)
+};
+
+const char* BackendKindName(BackendKind kind);
+
+/// Capacity and alignment description of a backend, filled by the probe at
+/// open time. Requests address each target's linear byte space, exactly as
+/// with StorageTarget.
+struct BackendGeometry {
+  BackendKind kind = BackendKind::kSim;
+  int num_targets = 0;
+  std::vector<int64_t> capacity_bytes;  ///< per target, indexed like requests
+  /// Alignment unit for the direct-I/O fast path. Requests whose offset and
+  /// size are multiples of this are eligible for O_DIRECT; others take the
+  /// buffered fallback (and are counted). The sim backend has no alignment
+  /// requirement and reports its stripe-friendly 512.
+  int64_t logical_block_bytes = 512;
+  /// True when every target serves aligned I/O with O_DIRECT (file backend
+  /// on a filesystem that supports it). False on the sim backend and on
+  /// buffered fallbacks (e.g. tmpfs).
+  bool direct_io = false;
+  /// Per-target byte stride between data-plane epochs (see
+  /// TargetChunk::epoch). Empty (or zero) = a single epoch: chunk offsets
+  /// address the file directly. A dual-epoch file backend provisions each
+  /// target at twice the simulated capacity and reports the simulated
+  /// capacity here, so a migration's source (epoch 0) and destination
+  /// (epoch 1) extents land in disjoint halves of the file.
+  std::vector<int64_t> epoch_stride;
+};
+
+/// Byte offset of `chunk` in its target's backing store: the simulated
+/// offset shifted into the chunk's epoch half when the backend is
+/// dual-epoch.
+inline int64_t DataPlaneOffset(const BackendGeometry& geometry,
+                               const TargetChunk& chunk) {
+  if (chunk.epoch == 0 || geometry.epoch_stride.empty()) return chunk.offset;
+  return chunk.offset +
+         chunk.epoch *
+             geometry.epoch_stride[static_cast<size_t>(chunk.target)];
+}
+
+/// Cumulative I/O counters of a backend. Monotone over the backend's
+/// lifetime; read them before/after a phase and subtract.
+struct BackendCounters {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+  uint64_t syncs = 0;
+  /// Requests that missed the alignment contract and were served through
+  /// the buffered fallback path.
+  uint64_t unaligned_requests = 0;
+  uint64_t errors = 0;
+  /// Wall-clock seconds spent inside I/O syscalls, summed over workers
+  /// (file backend only; the sim backend reports 0).
+  double io_time_s = 0.0;
+};
+
+/// Uniform block-execution seam between the layout control plane and
+/// whatever serves the I/O: the event-queue simulator (SimBackend) or real
+/// files / raw devices (FileBackend).
+///
+/// Seam contract:
+///  - Submit() is asynchronous. `done` fires exactly once with the
+///    completion time in the backend's own clock — virtual simulation
+///    seconds for the sim, wall-clock seconds since backend creation for
+///    files — plus the request outcome.
+///  - SimBackend delivers completions inline from the event queue, so a
+///    closed loop driven by the virtual clock (the WorkloadRunner) keeps
+///    working unchanged; PumpCompletions()/Drain() are no-ops there.
+///  - FileBackend executes on a worker pool and queues completions;
+///    callers must PumpCompletions() (or Drain()) to receive them on their
+///    own thread. Its wall-clock completion times cannot drive the
+///    simulator's virtual clock, so the file backend is *not* a valid
+///    foreground engine for the closed-loop runner — it is the data plane
+///    (migration copies, calibration, replay benches), while the simulator
+///    remains the timing driver.
+///  - `data` may be null: the backend then moves bytes through an internal
+///    scratch buffer (timing-only replay). With real data the pointer need
+///    not be aligned; the backend bounces through an aligned buffer when
+///    O_DIRECT demands it.
+///  - ReadSync/WriteSync are the synchronous data plane (migration chunk
+///    copies, pattern verification). The sim backend has no bytes to serve
+///    and fails them with kFailedPrecondition.
+class BlockBackend {
+ public:
+  using Completion = std::function<void(double when_s, const Status& status)>;
+
+  virtual ~BlockBackend() = default;
+
+  virtual const BackendGeometry& geometry() const = 0;
+
+  /// Submits `req` against target `target`'s byte space. `done` fires once
+  /// (see the seam contract above for where and when).
+  virtual void Submit(int target, const TargetRequest& req, void* data,
+                     Completion done) = 0;
+
+  /// Synchronously reads `size` bytes at `offset` of `target` into `buf`.
+  virtual Status ReadSync(int target, int64_t offset, int64_t size,
+                          void* buf) = 0;
+
+  /// Synchronously writes `size` bytes at `offset` of `target` from `buf`.
+  virtual Status WriteSync(int target, int64_t offset, int64_t size,
+                           const void* buf) = 0;
+
+  /// Durability barrier: flushes all completed writes to media.
+  virtual Status Sync() = 0;
+
+  /// Delivers queued completions on the calling thread; returns how many
+  /// fired. Sim backend: always 0 (completions ride the event queue).
+  virtual int PumpCompletions() = 0;
+
+  /// Blocks until every submitted request has completed and its completion
+  /// has been delivered.
+  virtual Status Drain() = 0;
+
+  virtual BackendCounters counters() const = 0;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_IO_BACKEND_H_

@@ -1,0 +1,142 @@
+#ifndef LAYOUTDB_IO_FILE_BACKEND_H_
+#define LAYOUTDB_IO_FILE_BACKEND_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/backend.h"
+
+namespace ldb {
+
+/// Configuration of a FileBackend: one regular file (or raw device node)
+/// per storage target under `dir`, named `target-NNN.dat`.
+struct FileBackendOptions {
+  std::string dir;                      ///< directory holding target files
+  std::vector<int64_t> capacity_bytes;  ///< per-target capacity to provision
+  /// Alignment unit for O_DIRECT. Capacities round up to a multiple of
+  /// this; pre-existing files whose size is not a multiple are rejected by
+  /// the probe (clause-indexed error) rather than silently truncated.
+  int64_t logical_block_bytes = 4096;
+  int queue_depth = 32;  ///< per-target async inflight cap (Submit blocks)
+  int num_workers = 4;   ///< I/O worker threads
+  bool try_direct = true;  ///< attempt O_DIRECT; fall back buffered + warn
+  bool use_io_uring = true;  ///< use io_uring when compiled in
+  bool quiet = false;        ///< suppress the buffered-fallback warning
+  /// Provision each target file at *twice* its capacity and report the
+  /// capacity as the geometry's epoch stride: migration runs place source
+  /// (epoch 0) and destination (epoch 1) extents in disjoint halves (see
+  /// DataPlaneOffset). Off for single-layout uses (calibration, replay).
+  bool dual_epoch = false;
+};
+
+/// Real-I/O BlockBackend: stripes each target's byte space over one regular
+/// file (or raw device), served by a preadv/pwritev worker pool — or
+/// io_uring when liburing is available at build time — with O_DIRECT
+/// aligned buffers and a buffered fallback for filesystems (tmpfs) and
+/// requests that cannot satisfy the alignment contract.
+///
+/// Completion times are wall-clock seconds since Open(). Completions are
+/// queued and delivered on the caller's thread via PumpCompletions()/
+/// Drain() — see the seam contract in backend.h.
+class FileBackend final : public BlockBackend {
+ public:
+  /// Probes/creates the target files and starts the worker pool. Probe
+  /// failures (bad sizes, unwritable dir) are clause-indexed by target:
+  /// "backend target clause N: ...".
+  static Result<std::unique_ptr<FileBackend>> Open(
+      const FileBackendOptions& options);
+
+  ~FileBackend() override;
+
+  FileBackend(const FileBackend&) = delete;
+  FileBackend& operator=(const FileBackend&) = delete;
+
+  const BackendGeometry& geometry() const override { return geometry_; }
+  void Submit(int target, const TargetRequest& req, void* data,
+              Completion done) override;
+  Status ReadSync(int target, int64_t offset, int64_t size,
+                  void* buf) override;
+  Status WriteSync(int target, int64_t offset, int64_t size,
+                   const void* buf) override;
+  Status Sync() override;
+  int PumpCompletions() override;
+  Status Drain() override;
+  BackendCounters counters() const override;
+
+  /// Path of target `t`'s backing file.
+  const std::string& target_path(int t) const;
+
+  /// True when this build carries the io_uring submission path.
+  static bool IoUringCompiledIn();
+
+ private:
+  struct Target {
+    std::string path;
+    int buffered_fd = -1;
+    int direct_fd = -1;  ///< -1 when O_DIRECT is unsupported here
+    int64_t capacity = 0;
+    int inflight = 0;
+  };
+  struct Job {
+    int target = 0;
+    int64_t offset = 0;
+    int64_t size = 0;
+    bool is_write = false;
+    void* data = nullptr;  ///< null = timing-only, use worker scratch
+    Completion done;
+  };
+  struct Fired {
+    Completion done;
+    double when_s = 0.0;
+    Status status;
+  };
+  /// Per-thread aligned bounce buffer (posix_memalign), grown on demand.
+  struct Bounce {
+    char* data = nullptr;
+    int64_t size = 0;
+    ~Bounce();
+    Status Reserve(int64_t bytes, int64_t align);
+  };
+
+  FileBackend() = default;
+
+  void WorkerLoop(int worker);
+  /// Executes one I/O on the caller's thread through `bounce`; fills
+  /// counters under mu_.
+  Status Execute(const Job& job, Bounce* bounce);
+  /// The raw transfer loop (pread/pwrite or io_uring) on `fd`.
+  Status Transfer(int fd, bool is_write, int64_t offset, int64_t size,
+                  char* buf);
+  double NowS() const;
+
+  FileBackendOptions options_;
+  BackendGeometry geometry_;
+  std::vector<Target> targets_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable job_cv_;    ///< workers wait for jobs
+  std::condition_variable space_cv_;  ///< Submit waits for queue depth
+  std::condition_variable drain_cv_;  ///< Drain waits for idle
+  std::deque<Job> jobs_;
+  std::vector<Fired> fired_;
+  int total_inflight_ = 0;
+  bool stopping_ = false;
+  BackendCounters counters_;
+
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<Bounce>> worker_bounce_;
+  std::mutex sync_mu_;  ///< serializes ReadSync/WriteSync bounce use
+  Bounce sync_bounce_;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_IO_FILE_BACKEND_H_

@@ -1,0 +1,56 @@
+#include "io/sim_backend.h"
+
+#include <utility>
+
+namespace ldb {
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSim:
+      return "sim";
+    case BackendKind::kFile:
+      return "file";
+  }
+  return "?";
+}
+
+SimBackend::SimBackend(StorageSystem* system) : system_(system) {
+  geometry_.kind = BackendKind::kSim;
+  geometry_.num_targets = system->num_targets();
+  geometry_.capacity_bytes = system->capacities();
+  geometry_.logical_block_bytes = 512;
+  geometry_.direct_io = false;
+}
+
+void SimBackend::Submit(int target, const TargetRequest& req, void* /*data*/,
+                        Completion done) {
+  if (req.is_write) {
+    ++counters_.writes;
+    counters_.bytes_written += req.size;
+  } else {
+    ++counters_.reads;
+    counters_.bytes_read += req.size;
+  }
+  system_->Submit(target, req, [done = std::move(done)](double when) {
+    done(when, Status::Ok());
+  });
+}
+
+Status SimBackend::ReadSync(int /*target*/, int64_t /*offset*/,
+                            int64_t /*size*/, void* /*buf*/) {
+  return Status::FailedPrecondition(
+      "sim backend has no data plane (ReadSync)");
+}
+
+Status SimBackend::WriteSync(int /*target*/, int64_t /*offset*/,
+                             int64_t /*size*/, const void* /*buf*/) {
+  return Status::FailedPrecondition(
+      "sim backend has no data plane (WriteSync)");
+}
+
+Status SimBackend::Sync() {
+  ++counters_.syncs;
+  return Status::Ok();
+}
+
+}  // namespace ldb

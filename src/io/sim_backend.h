@@ -1,0 +1,42 @@
+#ifndef LAYOUTDB_IO_SIM_BACKEND_H_
+#define LAYOUTDB_IO_SIM_BACKEND_H_
+
+#include "io/backend.h"
+#include "storage/storage_system.h"
+
+namespace ldb {
+
+/// BlockBackend adapter over the event-queue simulator. Submit() forwards
+/// to StorageSystem::Submit with an identical completion wrapper, so a run
+/// routed through this backend schedules the exact same events as one
+/// calling the simulator directly — the differential tests pin the two
+/// paths bit-identical (StateFingerprint).
+///
+/// The sim has no data plane: ReadSync/WriteSync return
+/// kFailedPrecondition. Completion times are virtual simulation seconds.
+class SimBackend final : public BlockBackend {
+ public:
+  /// `system` must outlive the backend.
+  explicit SimBackend(StorageSystem* system);
+
+  const BackendGeometry& geometry() const override { return geometry_; }
+  void Submit(int target, const TargetRequest& req, void* data,
+              Completion done) override;
+  Status ReadSync(int target, int64_t offset, int64_t size,
+                  void* buf) override;
+  Status WriteSync(int target, int64_t offset, int64_t size,
+                   const void* buf) override;
+  Status Sync() override;
+  int PumpCompletions() override { return 0; }
+  Status Drain() override { return Status::Ok(); }
+  BackendCounters counters() const override { return counters_; }
+
+ private:
+  StorageSystem* system_;
+  BackendGeometry geometry_;
+  BackendCounters counters_;
+};
+
+}  // namespace ldb
+
+#endif  // LAYOUTDB_IO_SIM_BACKEND_H_

@@ -47,8 +47,16 @@ Result<RunResult> ScenarioPlayer::Play() {
   // Start from quiescent devices so measurements reflect this run only.
   for (int j = 0; j < system_->num_targets(); ++j) system_->target(j).Reset();
 
+  // Scenario-clock resume: `pos` seconds of the timeline already played
+  // (in a previous, killed process). `origin` is where the scenario's t=0
+  // falls on the simulation clock, so `now - origin` is the absolute
+  // scenario position everywhere below; a fresh run has origin ==
+  // start_time and plays the full duration.
+  const double pos =
+      std::clamp(options_.start_offset_s, 0.0, spec_->duration_s);
   const double start_time = system_->Now();
-  const double end_time = start_time + spec_->duration_s;
+  const double origin = start_time - pos;
+  const double end_time = origin + spec_->duration_s;
   const InteractionGraph graph(*spec_);
 
   // MixSeed-per-tenant streams: bit-identical for any host thread count.
@@ -149,7 +157,7 @@ Result<RunResult> ScenarioPlayer::Play() {
     if (now >= end_time) return;
     const ScenarioTenant& tenant = spec_->tenants[t];
     const double mult =
-        TenantRateMultiplier(*spec_, t, now - start_time);
+        TenantRateMultiplier(*spec_, t, now - origin);
     if (mult > 0.0) {
       ++stats_.arrivals;
       const int anchor =
@@ -162,7 +170,7 @@ Result<RunResult> ScenarioPlayer::Play() {
         const ScenarioGraph& g = spec_->graphs[static_cast<size_t>(
             graph.GraphOf(anchor))];
         const std::vector<int>& peers =
-            graph.Community(anchor, now - start_time);
+            graph.Community(anchor, now - origin);
         issue(ts, tenant, anchor);
         int issued = 1;
         const size_t stride =
@@ -185,7 +193,7 @@ Result<RunResult> ScenarioPlayer::Play() {
     if (gen != ts.generation || finished) return;
     const double now = system_->Now();
     const double mult =
-        TenantRateMultiplier(*spec_, t, now - start_time);
+        TenantRateMultiplier(*spec_, t, now - origin);
     const ScenarioTenant& tenant = spec_->tenants[t];
     const double lambda = tenant.rate * mult * tenant.count;
     if (lambda <= 0.0) return;  // a boundary event will restart the chain
@@ -223,8 +231,10 @@ Result<RunResult> ScenarioPlayer::Play() {
         std::unique(boundaries[t].begin(), boundaries[t].end()),
         boundaries[t].end());
     for (double b : boundaries[t]) {
-      if (b >= spec_->duration_s) continue;
-      system_->queue().ScheduleAt(start_time + b, [&, t]() {
+      // Boundaries already behind the resume position are folded into the
+      // kickoff intensity below; the rest land on the shifted clock.
+      if (b < pos || b >= spec_->duration_s) continue;
+      system_->queue().ScheduleAt(origin + b, [&, t]() {
         if (finished) return;
         const uint64_t gen = ++tenants[t].generation;
         schedule_next(t, gen);
@@ -239,10 +249,10 @@ Result<RunResult> ScenarioPlayer::Play() {
     if (on_finished_) on_finished_();
   });
 
-  // Kick off every tenant active at t=0 (boundary events handle later
-  // arrivals).
+  // Kick off every tenant active at the starting position (boundary
+  // events handle later arrivals).
   for (size_t t = 0; t < spec_->tenants.size(); ++t) {
-    if (spec_->tenants[t].arrive_s <= 0.0) {
+    if (spec_->tenants[t].arrive_s <= pos) {
       schedule_next(t, tenants[t].generation);
     }
   }
@@ -250,7 +260,7 @@ Result<RunResult> ScenarioPlayer::Play() {
   system_->queue().RunUntilIdle();
 
   RunResult result;
-  result.elapsed_seconds = spec_->duration_s;
+  result.elapsed_seconds = spec_->duration_s - pos;
   result.total_requests = completed;
   result.faults = system_->TotalFaultStats();
   const double elapsed = std::max(result.elapsed_seconds, 1e-9);

@@ -22,6 +22,14 @@ struct ScenarioPlayerOptions {
   /// flight are shed (counted, not submitted). Deterministic — shedding
   /// depends only on the event order, which is seed-determined.
   int max_in_flight = 4096;
+  /// Scenario-clock resume: start playing `start_offset_s` seconds into
+  /// the scenario timeline (clamped to the duration) instead of at zero.
+  /// Phase/flash/churn windows, graph rewiring, and the end-of-scenario
+  /// time all shift as if the first `start_offset_s` seconds had already
+  /// played; tenants whose arrival time already passed start immediately.
+  /// Limitation: arrival RNG streams restart fresh — the *clock* resumes,
+  /// not the exact request sequence the dead process would have issued.
+  double start_offset_s = 0.0;
 };
 
 /// Player-side counters (the foreground half of a scenario outcome).

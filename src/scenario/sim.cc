@@ -1,5 +1,6 @@
 #include "scenario/sim.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -71,6 +72,13 @@ Result<ScenarioOutcome> PlayScenarioAutopilot(
     const FaultPlan& faults, const AutopilotOptions& options,
     ScenarioPlayerOptions popts) {
   ScenarioPlayStats play;
+  // Journaled scenario runs record the scenario clock every tick so a
+  // mid-scenario kill can resume the player at the recorded position; the
+  // offset is wherever this run itself started (0 when fresh).
+  AutopilotOptions opts = options;
+  if (!opts.journal_path.empty() && opts.scenario_position_offset_s < 0.0) {
+    opts.scenario_position_offset_s = std::max(0.0, popts.start_offset_s);
+  }
   auto driver = [&](VolumeRouter* router,
                     const StorageSystem::Observer& observe,
                     const std::function<void()>& on_finished)
@@ -83,7 +91,7 @@ Result<ScenarioOutcome> PlayScenarioAutopilot(
     return run;
   };
   auto report = RunAutopilotLoop(system, problem, initial_layout, faults,
-                                 options, driver);
+                                 opts, driver);
   if (!report.ok()) return report.status();
 
   ScenarioOutcome outcome;

@@ -102,7 +102,7 @@ void StripedVolumeManager::Map(ObjectId object, int64_t offset, int64_t size,
         out->back().offset + out->back().size == target_off) {
       out->back().size += chunk;
     } else {
-      out->push_back(TargetChunk{target, target_off, chunk});
+      out->push_back(TargetChunk{target, target_off, chunk, data_epoch_});
     }
     off += chunk;
     remaining -= chunk;

@@ -15,6 +15,11 @@ struct TargetChunk {
   int target = 0;
   int64_t offset = 0;  ///< target-relative byte offset
   int64_t size = 0;
+  /// Data-plane epoch of the manager that produced this chunk (see
+  /// StripedVolumeManager::set_data_epoch). Inert for the simulator; a
+  /// real BlockBackend shifts the file offset by epoch * stride so source
+  /// and destination extents of a migration never overlap on media.
+  int epoch = 0;
 };
 
 /// Striped logical-volume manager, the layout-implementation mechanism used
@@ -65,6 +70,17 @@ class StripedVolumeManager {
     return allocated_[static_cast<size_t>(j)];
   }
 
+  /// Data-plane epoch stamped into every chunk this manager maps. Each
+  /// manager allocates its extents from target offset 0, so two managers
+  /// (a migration's source and destination) overlap in *simulated* offset
+  /// space — harmless for the simulator, which carries no data, but fatal
+  /// for a real backend. Real-I/O runs therefore place managers in
+  /// alternating epochs; the backend offsets epoch-1 extents by a
+  /// per-target stride (half of a double-provisioned file). Purely a
+  /// data-plane annotation: simulated timing never reads it.
+  void set_data_epoch(int epoch) { data_epoch_ = epoch; }
+  int data_epoch() const { return data_epoch_; }
+
  private:
   StripedVolumeManager() = default;
 
@@ -75,6 +91,7 @@ class StripedVolumeManager {
   /// extent on that target.
   std::vector<std::vector<int64_t>> extent_base_;
   std::vector<int64_t> allocated_;
+  int data_epoch_ = 0;
 };
 
 /// Routes logical (object-relative) byte ranges to target chunks. The plain

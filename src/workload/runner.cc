@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "io/backend.h"
 #include "util/check.h"
 #include "util/table.h"
 
@@ -185,16 +186,23 @@ Result<RunResult> WorkloadRunner::Run(const OlapSpec* olap,
       tr.object = st.spec.object;
       tr.logical_offset = logical;
       logical += c.size;
-      system_->Submit(c.target, tr,
-                      [&, q, si, pending, logical_ev](double when) {
-                        if (--*pending == 0) {
-                          if (logical_ev) {
-                            logical_ev->complete_time = when;
-                            logical_observer_(*logical_ev);
-                          }
-                          on_request_done(q, si);
-                        }
-                      });
+      auto completion = [&, q, si, pending, logical_ev](double when) {
+        if (--*pending == 0) {
+          if (logical_ev) {
+            logical_ev->complete_time = when;
+            logical_observer_(*logical_ev);
+          }
+          on_request_done(q, si);
+        }
+      };
+      if (backend_ != nullptr) {
+        backend_->Submit(c.target, tr, nullptr,
+                         [completion](double when, const Status& /*status*/) {
+                           completion(when);
+                         });
+      } else {
+        system_->Submit(c.target, tr, completion);
+      }
     }
   };
 

@@ -13,6 +13,8 @@
 
 namespace ldb {
 
+class BlockBackend;
+
 /// Outcome of a workload execution on the simulated storage system.
 struct RunResult {
   double elapsed_seconds = 0.0;      ///< wall-clock (simulated) duration
@@ -71,6 +73,14 @@ class WorkloadRunner {
     on_finished_ = std::move(hook);
   }
 
+  /// Routes foreground submissions through a BlockBackend seam instead of
+  /// calling the simulator directly. Only backends whose completions ride
+  /// the event queue (SimBackend) can drive the closed loop — see the seam
+  /// contract in io/backend.h. A SimBackend over the same system is
+  /// bit-identical to the default direct path. `backend` must outlive the
+  /// runner; null restores the direct path.
+  void set_backend(BlockBackend* backend) { backend_ = backend; }
+
   /// Runs an OLAP workload to completion.
   Result<RunResult> RunOlap(const OlapSpec& olap);
 
@@ -90,6 +100,7 @@ class WorkloadRunner {
                         double duration_s);
 
   StorageSystem* system_;
+  BlockBackend* backend_ = nullptr;  ///< optional submission seam
   std::unique_ptr<PassthroughRouter> owned_router_;  ///< legacy-ctor shim
   VolumeRouter* router_;
   Rng rng_;

@@ -4,14 +4,23 @@
 #      leave a recoverable journal behind.
 #   2. `--migrate --journal --resume` must recover that journal and run
 #      the same migration to completion, recovering a non-empty prefix.
+# With BACKEND_DIR set, both runs add `--backend=file --backend-dir=...`
+# so the migration moves real bytes, and the resume run must additionally
+# report every object byte readable on the real files.
 # Invoked as `cmake -DADVISOR=... -DPROBLEM=... -DWORKDIR=... -P`.
 
 set(journal "${WORKDIR}/resume_e2e.wal")
+set(backend_args "")
+if(DEFINED BACKEND_DIR AND NOT BACKEND_DIR STREQUAL "")
+  set(journal "${WORKDIR}/realio_resume_e2e.wal")
+  set(backend_args --backend=file "--backend-dir=${BACKEND_DIR}")
+  file(REMOVE_RECURSE "${BACKEND_DIR}")
+endif()
 file(REMOVE "${journal}")
 
 execute_process(
   COMMAND "${ADVISOR}" "${PROBLEM}" --migrate --seeds=2
-          "--journal=${journal}" --journal-crash=after=6
+          "--journal=${journal}" --journal-crash=after=6 ${backend_args}
   RESULT_VARIABLE crash_rc
   OUTPUT_VARIABLE crash_out
   ERROR_VARIABLE crash_err)
@@ -25,7 +34,7 @@ endif()
 
 execute_process(
   COMMAND "${ADVISOR}" "${PROBLEM}" --migrate --seeds=2
-          "--journal=${journal}" --resume
+          "--journal=${journal}" --resume ${backend_args}
   RESULT_VARIABLE resume_rc
   OUTPUT_VARIABLE resume_out
   ERROR_VARIABLE resume_err)
@@ -40,6 +49,14 @@ endif()
 if(NOT resume_out MATCHES "\\([1-9][0-9]* recovered\\)")
   message(FATAL_ERROR "resume run recovered no journal records:\n"
                       "${resume_out}")
+endif()
+if(NOT backend_args STREQUAL "")
+  if(NOT resume_out MATCHES
+     "every object byte readable on real files: yes")
+    message(FATAL_ERROR "resume run did not verify the real files:\n"
+                        "${resume_out}")
+  endif()
+  file(REMOVE_RECURSE "${BACKEND_DIR}")
 endif()
 
 file(REMOVE "${journal}")

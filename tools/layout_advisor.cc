@@ -13,6 +13,7 @@
 //                  [--autopilot[=<spec>]] [--drift-threshold=<x>]
 //                  [--autopilot-duration=<s>] [--scenario]
 //                  [--journal=<path>] [--resume] [--journal-crash=<spec>]
+//                  [--backend=sim|file] [--backend-dir=<dir>]
 //
 // --faults=<spec> parses a deterministic fault plan (see
 // src/storage/fault.h for the grammar, e.g.
@@ -75,6 +76,19 @@
 // (grammar "after=N[,torn=K]" / "syncs=S", see ParseWalCrashPolicy); a
 // fired crash exits with status 3 and prints the resume command.
 //
+// --backend=<sim|file> selects the execution backend for migration data
+// (src/io/backend.h). `sim` (the default) keeps everything on the event-
+// queue simulator, bit-identical to builds before the seam existed.
+// `file` opens a real-I/O FileBackend under --backend-dir=<dir> (one
+// `target-NNN.dat` file per target, O_DIRECT when the filesystem supports
+// it, buffered + a warning otherwise): migration chunks are then *really
+// copied* between the files while the simulator still drives timing, and
+// the run ends by re-reading every object byte through the final routing
+// and checking it against the seeded pattern. Requires --migrate or
+// --autopilot; composes with --journal/--resume — a killed real-file
+// migration resumes against the same directory and recopies only what the
+// journal does not pin as committed.
+//
 // --calibration-cache=<dir> persists calibrated device cost models across
 // invocations (keyed by device parameters + calibration options), so
 // repeated runs skip the Section 5.2.2 measurement entirely.
@@ -85,6 +99,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include <cmath>
@@ -93,9 +108,11 @@
 #include "core/advisor.h"
 #include "core/autopilot.h"
 #include "core/baselines.h"
+#include "core/journal.h"
 #include "core/migrate.h"
 #include "core/problem_io.h"
 #include "core/replan.h"
+#include "io/file_backend.h"
 #include "monitor/autopilot_spec.h"
 #include "scenario/sim.h"
 #include "storage/fault.h"
@@ -110,7 +127,8 @@ int main(int argc, char** argv) {
                  "[--calibration-cache=<dir>] [--faults=<spec>] [--replan] "
                  "[--migrate] [--migrate-throttle=<MB/s>] "
                  "[--autopilot[=<spec>]] [--scenario] "
-                 "[--journal=<path>] [--resume] [--journal-crash=<spec>]\n",
+                 "[--journal=<path>] [--resume] [--journal-crash=<spec>] "
+                 "[--backend=sim|file] [--backend-dir=<dir>]\n",
                  argv[0]);
     return 2;
   }
@@ -131,6 +149,8 @@ int main(int argc, char** argv) {
   std::string journal_path;
   std::string journal_crash_spec;
   bool resume = false;
+  bool backend_file = false;
+  std::string backend_dir;
   std::string path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--no-regularize") == 0) {
@@ -187,6 +207,19 @@ int main(int argc, char** argv) {
       resume = true;
     } else if (std::strncmp(argv[a], "--journal-crash=", 16) == 0) {
       journal_crash_spec = argv[a] + 16;
+    } else if (std::strncmp(argv[a], "--backend=", 10) == 0) {
+      const char* b = argv[a] + 10;
+      if (std::strcmp(b, "sim") == 0) {
+        backend_file = false;
+      } else if (std::strcmp(b, "file") == 0) {
+        backend_file = true;
+      } else {
+        std::fprintf(stderr, "--backend must be 'sim' or 'file', got '%s'\n",
+                     b);
+        return 2;
+      }
+    } else if (std::strncmp(argv[a], "--backend-dir=", 14) == 0) {
+      backend_dir = argv[a] + 14;
     } else if (std::strncmp(argv[a], "--autopilot-duration=", 21) == 0) {
       autopilot = true;
       autopilot_duration_s = std::atof(argv[a] + 21);
@@ -256,6 +289,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--journal cannot serve --migrate and --autopilot in one "
                  "run (two control planes, one journal); pick one\n");
+    return 2;
+  }
+  if (backend_file && backend_dir.empty()) {
+    std::fprintf(stderr,
+                 "--backend=file requires --backend-dir=<dir> (where the "
+                 "target files live)\n");
+    return 2;
+  }
+  if (!backend_dir.empty() && !backend_file) {
+    std::fprintf(stderr,
+                 "--backend-dir only applies with --backend=file (the sim "
+                 "backend has no files)\n");
+    return 2;
+  }
+  if (backend_file && !migrate && !autopilot) {
+    std::fprintf(stderr,
+                 "--backend=file requires --migrate or --autopilot (the "
+                 "real data plane carries migration copies)\n");
     return 2;
   }
 
@@ -346,8 +397,34 @@ int main(int argc, char** argv) {
                 : 100 * replanned->previous_max_utilization);
       }
     }
+    std::unique_ptr<FileBackend> file_backend;
+    if (backend_file) {
+      FileBackendOptions fopts;
+      fopts.dir = backend_dir;
+      // Migration runs keep two layouts' extents live at once (source and
+      // destination epochs), so each file is provisioned at 2x capacity.
+      fopts.dual_epoch = true;
+      for (const auto& t : loaded->problem.targets) {
+        fopts.capacity_bytes.push_back(t.capacity_bytes);
+      }
+      auto fb = FileBackend::Open(fopts);
+      if (!fb.ok()) {
+        std::fprintf(stderr, "--backend=file: %s\n",
+                     fb.status().ToString().c_str());
+        return 1;
+      }
+      file_backend = std::move(*fb);
+      const BackendGeometry& g = file_backend->geometry();
+      std::printf(
+          "Real-I/O backend: %d target file(s) under %s (%s, block %lld "
+          "B)\n",
+          g.num_targets, backend_dir.c_str(),
+          g.direct_io ? "O_DIRECT" : "buffered",
+          static_cast<long long>(g.logical_block_bytes));
+    }
     if (migrate) {
       MigrateOptions mopts;
+      mopts.data_backend = file_backend.get();
       if (migrate_throttle_mbps > 0.0) {
         mopts.bandwidth_bytes_per_s = migrate_throttle_mbps * 1024.0 * 1024.0;
       }
@@ -388,6 +465,14 @@ int main(int argc, char** argv) {
       std::printf("  every byte readable at end: %s\n",
                   sim->readable.ok() ? "yes"
                                      : sim->readable.ToString().c_str());
+      if (sim->real_backend) {
+        std::printf(
+            "  every object byte readable on real files: %s (%.1f MB "
+            "verified)\n",
+            sim->real_readable.ok() ? "yes"
+                                    : sim->real_readable.ToString().c_str(),
+            sim->real_bytes_verified / (1024.0 * 1024.0));
+      }
       for (const std::string& s : sim->skipped_faults) {
         std::printf("  skipped fault: %s\n", s.c_str());
       }
@@ -401,12 +486,15 @@ int main(int argc, char** argv) {
           std::printf(
               "  journal crash injected (%s); migration frozen pre-crash "
               "state is durable\n"
-              "  resume with: %s %s --migrate --journal=%s --resume\n",
+              "  resume with: %s %s --migrate --journal=%s --resume%s%s\n",
               sim->journal_error.c_str(), argv[0], path.c_str(),
-              journal_path.c_str());
+              journal_path.c_str(),
+              backend_file ? " --backend=file --backend-dir=" : "",
+              backend_file ? backend_dir.c_str() : "");
           return 3;
         }
       }
+      if (sim->real_backend && !sim->real_readable.ok()) return 1;
     }
     if (autopilot || scenario) {
       AutopilotOptions aopts;
@@ -429,6 +517,7 @@ int main(int argc, char** argv) {
             migrate_throttle_mbps * 1024.0 * 1024.0;
       }
       aopts.migrate.max_bg_share = 0.5;
+      aopts.migrate.data_backend = file_backend.get();
       aopts.advisor = options;
       aopts.journal_path = journal_path;
       aopts.journal_crash = journal_crash;
@@ -441,9 +530,26 @@ int main(int argc, char** argv) {
                        "directive\n");
           return 2;
         }
+        ScenarioPlayerOptions popts;
+        if (resume) {
+          // Read-only peek at the journal's scenario clock so the player
+          // restarts where the dead process left off; the autopilot's own
+          // recovery (layout, drift reference) happens inside the run.
+          auto rec = RecoverControlState(journal_path);
+          if (!rec.ok()) {
+            std::fprintf(stderr, "--resume: %s\n",
+                         rec.status().ToString().c_str());
+            return 1;
+          }
+          if (rec->has_scenario_position) {
+            popts.start_offset_s = rec->scenario_position_s;
+            std::printf("Resuming scenario at t=%.2f s (journal clock)\n",
+                        rec->scenario_position_s);
+          }
+        }
         auto out = SimulateProblemScenario(
             loaded->problem, see, loaded->scenario, plan,
-            autopilot ? &aopts : nullptr);
+            autopilot ? &aopts : nullptr, popts);
         if (!out.ok()) {
           std::fprintf(stderr, "--scenario: %s\n",
                        out.status().ToString().c_str());
@@ -480,6 +586,15 @@ int main(int argc, char** argv) {
               out->autopilot.migrations_completed,
               out->autopilot.migrations_suppressed,
               out->autopilot.bytes_copied / (1024.0 * 1024.0));
+          if (out->autopilot.real_backend) {
+            std::printf(
+                "  every object byte readable on real files: %s (%.1f MB "
+                "verified)\n",
+                out->autopilot.real_readable.ok()
+                    ? "yes"
+                    : out->autopilot.real_readable.ToString().c_str(),
+                out->autopilot.real_bytes_verified / (1024.0 * 1024.0));
+          }
           if (!journal_path.empty()) {
             std::printf("  journal: %lld records, %lld bytes at %s%s\n",
                         static_cast<long long>(out->autopilot.journal_records),
@@ -497,6 +612,10 @@ int main(int argc, char** argv) {
                   argv[0], path.c_str(), journal_path.c_str());
               return 3;
             }
+          }
+          if (out->autopilot.real_backend &&
+              !out->autopilot.real_readable.ok()) {
+            return 1;
           }
         }
         return 0;
@@ -534,6 +653,14 @@ int main(int argc, char** argv) {
           "%.3f\n",
           static_cast<unsigned long long>(ap->fg_requests),
           1e3 * ap->fg_mean_latency_s, ap->final_drift_score);
+      if (ap->real_backend) {
+        std::printf(
+            "  every object byte readable on real files: %s (%.1f MB "
+            "verified)\n",
+            ap->real_readable.ok() ? "yes"
+                                   : ap->real_readable.ToString().c_str(),
+            ap->real_bytes_verified / (1024.0 * 1024.0));
+      }
       for (const std::string& s : ap->skipped_faults) {
         std::printf("  skipped fault: %s\n", s.c_str());
       }
@@ -552,6 +679,7 @@ int main(int argc, char** argv) {
           return 3;
         }
       }
+      if (ap->real_backend && !ap->real_readable.ok()) return 1;
     }
   }
   return 0;
